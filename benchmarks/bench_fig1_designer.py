@@ -1,0 +1,157 @@
+"""Experiment F1 — regenerate Fig. 1 (the design interface).
+
+Fig. 1 is a screenshot of the WYSIWYG designer with the source palette
+on the left and the GamerQueen result layout on the right. This bench
+drives the designer API through the exact §II-B gestures and renders the
+canvas; the benchmark times a full design session (palette → drags →
+elements → validation → compile).
+"""
+
+import json
+
+import pytest
+
+from repro.core.application import ApplicationDefinition
+
+from benchmarks.conftest import make_inventory_rows, record_artifact
+
+
+@pytest.fixture(scope="module")
+def design_context(bench_symphony):
+    symphony = bench_symphony
+    account = symphony.register_designer("Fig1-Ann")
+    games = symphony.web.entities["video_games"][:8]
+    symphony.upload_http(
+        account, "fig1_inventory.csv", make_inventory_rows(games),
+        "fig1_inventory", content_type="text/csv",
+    )
+    inventory = symphony.add_proprietary_source(
+        account, "fig1_inventory",
+        search_fields=("title", "producer", "description"),
+        name="Ann's inventory",
+    )
+    reviews = symphony.add_web_source(
+        "Web search (reviews)", "web",
+        sites=("gamespot.com", "ign.com", "teamxbox.com"),
+    )
+    return symphony, account, inventory, reviews
+
+
+def run_design_session(symphony, account, inventory, reviews):
+    """The §II-B narrative, gesture for gesture."""
+    designer = symphony.designer()
+    session = designer.new_application("GamerQueen",
+                                       account.tenant.tenant_id)
+    # "Ann drags the inventory data onto a new application layout as a
+    #  primary content, and configures the application to search by
+    #  title, producer, and description."
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=4,
+        search_fields=("title", "producer", "description"),
+    )
+    # "She then configures the result layout to show the title
+    #  hyperlinked to a detail page, an image, and a description."
+    session.add_hyperlink(slot, "title", href_field="detail_url",
+                          font_weight="bold")
+    session.add_image(slot, "image_url")
+    session.add_text(slot, "description", color="#444444")
+    # "Ann may then wish to include game reviews as supplemental content
+    #  by dragging web-search content onto the result layout and
+    #  restricting it to sites such as gamespot.com, ign.com and
+    #  teamxbox.com... The game titles from the inventory data could
+    #  then be selected to drive that web search."
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews from the web", max_results=2,
+        query_suffix="review",
+    )
+    issues = session.validate()
+    app = session.build()
+    return session, issues, app
+
+
+def test_fig1_design_session(benchmark, design_context):
+    symphony, account, inventory, reviews = design_context
+    session, issues, app = benchmark.pedantic(
+        run_design_session,
+        args=(symphony, account, inventory, reviews),
+        rounds=5, iterations=1,
+    )
+
+    canvas = session.describe_canvas()
+    config = json.dumps(app.to_dict(), indent=2)
+    record_artifact(
+        "fig1_design_interface",
+        canvas + "\n\n[Compiled configuration file (excerpt)]\n"
+        + "\n".join(config.splitlines()[:40]),
+    )
+
+    # The palette (Fig. 1's left bar) lists the available sources.
+    palette_names = {entry["name"] for entry in session.palette()}
+    assert {"Ann's inventory", "Web search (reviews)"} <= palette_names
+
+    # The canvas shows the configured layout.
+    assert "[primary] Games" in canvas
+    assert "search by: title, producer, description" in canvas
+    assert "element: hyperlink(title -> detail_url)" in canvas
+    assert "element: image(image_url)" in canvas
+    assert 'driven by: title + "review"' in canvas
+
+    # No blocking issues; the compiled app validates and round-trips.
+    assert [i for i in issues if i.severity == "error"] == []
+    assert ApplicationDefinition.from_dict(app.to_dict()) == app
+    child = app.slots[0].children[0]
+    child_binding = app.binding(child.binding_id)
+    assert child_binding.drive_fields == ("title",)
+    restricted = symphony.sources.get(child_binding.source_id)
+    assert set(restricted.sites) == {"gamespot.com", "ign.com",
+                                     "teamxbox.com"}
+
+
+def test_fig1_live_preview(benchmark, design_context):
+    """The right panel of Fig. 1: results rendered while designing."""
+    symphony, account, inventory, reviews = design_context
+    session, __, __ = run_design_session(symphony, account, inventory,
+                                         reviews)
+    sample_query = symphony.web.entities["video_games"][0]
+
+    preview = benchmark.pedantic(
+        lambda: symphony.preview(session, sample_query),
+        rounds=3, iterations=1,
+    )
+    assert preview.ok
+    assert sample_query in preview.html
+    record_artifact(
+        "fig1_preview_html",
+        f"Live preview for query {sample_query!r} "
+        "(the Fig. 1 right panel):\n\n"
+        + preview.html.replace("><", ">\n<"),
+    )
+    # Previewing never hosts anything.
+    assert all(not app_id.startswith("app-preview")
+               for app_id in symphony.apps.ids())
+
+
+def test_fig1_wizard_and_templates(benchmark, design_context):
+    """The Presentation capabilities behind the Fig. 1 toolbar."""
+    symphony, account, inventory, __ = design_context
+
+    def style_pass():
+        designer = symphony.designer()
+        session = designer.new_application(
+            "Styled", account.tenant.tenant_id
+        )
+        slot = session.drag_source_onto_app(
+            inventory.source_id, search_fields=("title",)
+        )
+        session.add_text(slot, "title")
+        recommendation = session.run_wizard(tone="playful",
+                                            accent_color="#ff6600")
+        session.apply_template("midnight")
+        return session, recommendation
+
+    session, recommendation = benchmark.pedantic(
+        style_pass, rounds=5, iterations=1
+    )
+    assert recommendation["theme"] == "storefront"
+    assert session.theme == "midnight"  # explicit template wins

@@ -1,0 +1,176 @@
+"""Experiment X4 — monetization throughput and ledger integrity (§II-A).
+
+"When a link is clicked in a Symphony-hosted application, it can be
+logged by the system... the application designers will automatically be
+credited by that service for any ad-click revenue... a summary of an
+application's click traffic can be downloaded." This bench measures ad
+auction and click-recording throughput and asserts the money adds up:
+advertiser spend == designer payout + platform revenue.
+"""
+
+import pytest
+
+from repro.core.monetization import ReferralReport
+from repro.core.platform import Symphony
+from repro.services.ads import AdService
+from repro.util import deterministic_rng
+
+from benchmarks.conftest import build_gamerqueen, record_artifact
+
+
+def make_marketplace(n_advertisers=6, campaigns_each=3):
+    ads = AdService()
+    rng = deterministic_rng("marketplace")
+    keywords_pool = ["game", "halo", "zelda", "console", "review",
+                     "wine", "travel", "deal", "classic", "arcade"]
+    for i in range(n_advertisers):
+        advertiser = ads.create_advertiser(f"Adv{i}", 500.0)
+        for j in range(campaigns_each):
+            ads.create_campaign(
+                advertiser.advertiser_id,
+                keywords=rng.sample(keywords_pool, 3),
+                bid_per_click=round(rng.uniform(0.05, 0.95), 2),
+                headline=f"Adv{i} campaign {j}",
+                url=f"http://adv{i}.example/{j}",
+                quality=round(rng.uniform(0.6, 1.4), 2),
+            )
+    return ads
+
+
+def test_auction_throughput(benchmark):
+    ads = make_marketplace()
+    queries = ["halo game deal", "zelda review", "classic console",
+               "wine travel", "arcade game"]
+    counter = {"i": 0}
+
+    def auction():
+        counter["i"] += 1
+        query = queries[counter["i"] % len(queries)]
+        return ads.select_ads(query, "bench-app", count=3)
+
+    selected = benchmark(auction)
+    assert selected
+    # GSP invariant: prices never exceed the winning bid, never below
+    # the reserve.
+    for ad in selected:
+        campaign = ads.campaign(ad.campaign_id)
+        assert 0.01 <= ad.price_per_click <= campaign.bid_per_click
+
+
+def test_click_ledger_integrity(benchmark):
+    ads = make_marketplace()
+    rng = deterministic_rng("clicks")
+    queries = ["halo game", "zelda console", "wine deal",
+               "classic arcade game", "travel review"]
+
+    def simulate_traffic(n_queries=60):
+        for i in range(n_queries):
+            query = queries[i % len(queries)]
+            app_id = f"app-{i % 3}"
+            for ad in ads.select_ads(query, app_id, count=2,
+                                     now_ms=i):
+                if rng.random() < 0.4:
+                    ads.record_click(ad.ad_id, now_ms=i)
+        return ads
+
+    benchmark.pedantic(simulate_traffic, rounds=1, iterations=1)
+
+    total_spend = sum(
+        ads.advertiser_spend(a) for a in
+        {c.advertiser_id for c in ads._campaigns.values()}
+    )
+    total_payout = sum(ads.designer_earnings(f"app-{i}")
+                       for i in range(3))
+    platform = ads.platform_revenue()
+
+    lines = [
+        "Monetization ledger integrity",
+        f"advertiser spend : ${total_spend:10.4f}",
+        f"designer payout  : ${total_payout:10.4f}",
+        f"platform revenue : ${platform:10.4f}",
+        f"share check      : payout / spend = "
+        f"{total_payout / total_spend:.3f} "
+        f"(configured {ads.designer_share})",
+        f"ledger entries   : {len(ads.ledger)}",
+    ]
+    record_artifact("x4_ledger_integrity", "\n".join(lines))
+
+    assert total_spend > 0
+    assert total_spend == pytest.approx(total_payout + platform,
+                                        abs=1e-6)
+    assert total_payout / total_spend == pytest.approx(
+        ads.designer_share, abs=0.01
+    )
+
+
+def test_end_to_end_monetized_application(benchmark, bench_web):
+    """Full platform loop: queries, clicks, ad credits, referral CSV."""
+    symphony = Symphony(web=bench_web)
+    app_id, games = build_gamerqueen(symphony, designer_name="Money",
+                                     table_name="money_inventory",
+                                     n_supplemental=1)
+    ads_source = symphony.add_ad_source()
+    advertiser = symphony.ads.create_advertiser("BigCo", 200.0)
+    symphony.ads.create_campaign(
+        advertiser.advertiser_id, [games[0], games[1], "game"],
+        0.35, "BigCo", "http://bigco.example",
+    )
+    app = symphony.apps.get(app_id)
+    from repro.core.application import (SourceBinding, SourceRole,
+                                        SourceSlot)
+    monetized = type(app)(
+        app_id="money-app", name=app.name,
+        owner_tenant=app.owner_tenant,
+        bindings=app.bindings + (
+            SourceBinding("ads-b", ads_source.source_id,
+                          SourceRole.ADS),
+        ),
+        slots=app.slots + (SourceSlot(binding_id="ads-b",
+                                      heading="Sponsored"),),
+        theme=app.theme,
+    )
+    symphony.apps.register(monetized)
+
+    def customer_session(i=[0]):
+        i[0] += 1
+        query = games[i[0] % 4]
+        response = symphony.query("money-app", query,
+                                  session_id=f"s{i[0]}")
+        view = response.views[0]
+        symphony.record_click("money-app", query,
+                              view.item.get("detail_url"),
+                              session_id=f"s{i[0]}")
+        for result in view.supplemental.values():
+            if result.items:
+                symphony.record_click("money-app", query,
+                                      result.items[0].url)
+        for ad in response.ads:
+            symphony.record_click("money-app", query, ad.url,
+                                  ad_id=ad.get("ad_id"))
+        return response
+
+    benchmark.pedantic(customer_session, rounds=10, iterations=1)
+
+    summary = symphony.traffic_summary("money-app")
+    earnings = symphony.designer_ad_earnings("money-app")
+    report = ReferralReport(summary, rate_per_click=0.05)
+
+    lines = [
+        "Monetized application summary (10 customer sessions)",
+        f"queries: {summary.query_count}   "
+        f"clicks: {summary.click_count} "
+        f"(ads: {summary.ad_click_count})",
+        f"designer ad earnings: ${earnings:.4f}",
+        "referral report:",
+        report.to_csv().rstrip(),
+    ]
+    record_artifact("x4_monetized_app", "\n".join(lines))
+
+    assert summary.click_count >= 20
+    assert summary.ad_click_count > 0
+    assert earnings > 0
+    assert report.total_owed() > 0
+    # Designer earnings must equal the ledger's view of this app.
+    assert earnings == pytest.approx(
+        symphony.ads.designer_earnings("money-app")
+    )

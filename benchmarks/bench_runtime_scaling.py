@@ -1,0 +1,181 @@
+"""Experiment X2 — runtime scaling and cache ablation (§II-C, implied).
+
+The paper argues Symphony shoulders all execution cost on behalf of the
+embedding page. This bench quantifies that cost in simulated platform
+milliseconds (the deterministic latency model) and in wall-clock time:
+
+* end-to-end latency vs. the number of supplemental sources attached to
+  each result (the fan-out is per primary result × per source);
+* latency vs. primary result count;
+* the cache on/off ablation from DESIGN.md §6.
+"""
+
+import pytest
+
+from repro.core.platform import Symphony
+
+from benchmarks.conftest import build_gamerqueen, record_artifact
+
+
+@pytest.fixture(scope="module")
+def scaling_apps(bench_web):
+    """One platform, four GamerQueen variants with 0/1/2/4 supplemental
+    sources."""
+    symphony = Symphony(web=bench_web, cache_enabled=False)
+    apps = {}
+    for i, n_supplemental in enumerate((0, 1, 2, 4)):
+        app_id, games = build_gamerqueen(
+            symphony, designer_name=f"Scale-{i}",
+            table_name=f"scale_inventory_{i}",
+            n_supplemental=n_supplemental,
+        )
+        apps[n_supplemental] = app_id
+    return symphony, apps, games
+
+
+def simulated_cost(symphony, app_id, query):
+    response = symphony.query(app_id, query)
+    trace = response.trace
+    return {
+        "total": trace.total_ms(),
+        "primary": trace.stage("primary").elapsed_ms,
+        "supplemental": trace.stage("supplemental").elapsed_ms,
+        "queries": int(
+            trace.stage("supplemental").detail.split()[0]
+        ),
+    }
+
+
+def test_latency_vs_supplemental_fanout(benchmark, scaling_apps):
+    symphony, apps, games = scaling_apps
+    query = games[0]
+
+    def sweep():
+        return {n: simulated_cost(symphony, app_id, query)
+                for n, app_id in apps.items()}
+
+    costs = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    lines = [
+        "End-to-end cost vs supplemental sources per result "
+        "(cache off, simulated ms)",
+        f"{'#supp':>6} {'queries':>8} {'primary':>9} "
+        f"{'supplemental':>13} {'total':>9}",
+    ]
+    for n, cost in sorted(costs.items()):
+        lines.append(
+            f"{n:>6} {cost['queries']:>8} {cost['primary']:>9.1f} "
+            f"{cost['supplemental']:>13.1f} {cost['total']:>9.1f}"
+        )
+    record_artifact("x2_fanout_scaling", "\n".join(lines))
+
+    totals = [costs[n]["total"] for n in sorted(costs)]
+    # Cost grows monotonically with fan-out...
+    assert totals == sorted(totals)
+    assert totals[-1] > totals[0]
+    # ...and the growth comes from the supplemental stage.
+    assert costs[4]["supplemental"] > costs[1]["supplemental"]
+    assert costs[4]["primary"] == pytest.approx(costs[0]["primary"],
+                                                rel=0.5)
+    # With >=1 supplemental source, that stage dominates the pipeline —
+    # the hosted-execution argument of the paper.
+    for n in (1, 2, 4):
+        assert costs[n]["supplemental"] > costs[n]["primary"]
+
+
+def test_latency_vs_primary_count(benchmark, bench_web):
+    symphony = Symphony(web=bench_web, cache_enabled=False)
+    account = symphony.register_designer("Primary-Scale")
+    games = symphony.web.entities["video_games"][:20]
+    from benchmarks.conftest import make_inventory_rows
+    symphony.upload_http(
+        account, "scale.csv", make_inventory_rows(games),
+        "pscale", content_type="text/csv",
+    )
+    inventory = symphony.add_proprietary_source(
+        account, "pscale", search_fields=("title", "description"),
+    )
+    reviews = symphony.add_web_source(
+        "Reviews-pscale", "web",
+        sites=("gamespot.com", "ign.com"),
+    )
+    app_ids = {}
+    for max_results in (1, 2, 4, 8):
+        designer = symphony.designer()
+        session = designer.new_application(
+            f"PScale-{max_results}", account.tenant.tenant_id
+        )
+        slot = session.drag_source_onto_app(
+            inventory.source_id, max_results=max_results,
+            search_fields=("title", "description"),
+        )
+        session.add_text(slot, "title")
+        session.drag_source_onto_result_layout(
+            slot, reviews.source_id, drive_fields=("title",),
+            max_results=2, query_suffix="review",
+        )
+        app_ids[max_results] = symphony.host(session)
+
+    # A broad query matching many inventory records.
+    query = "classic experience"
+
+    def sweep():
+        out = {}
+        for max_results, app_id in app_ids.items():
+            response = symphony.query(app_id, query)
+            out[max_results] = (len(response.views),
+                                response.trace.total_ms())
+        return out
+
+    costs = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    lines = ["Cost vs primary result count (2 review queries per "
+             "result, simulated ms)",
+             f"{'max_results':>12} {'views':>6} {'total_ms':>9}"]
+    for max_results, (views, total) in sorted(costs.items()):
+        lines.append(f"{max_results:>12} {views:>6} {total:>9.1f}")
+    record_artifact("x2_primary_scaling", "\n".join(lines))
+
+    totals = [costs[k][1] for k in sorted(costs)]
+    assert totals == sorted(totals)
+    assert costs[8][0] > costs[1][0]
+
+
+def test_cache_ablation(benchmark, bench_web):
+    """DESIGN.md §6: per-(source, query) memoization on vs off."""
+    cached = Symphony(web=bench_web, cache_enabled=True)
+    uncached = Symphony(web=bench_web, cache_enabled=False)
+    results = {}
+    for label, symphony in (("cache_on", cached),
+                            ("cache_off", uncached)):
+        app_id, games = build_gamerqueen(
+            symphony, designer_name=f"Cache-{label}",
+            table_name=f"cache_inventory_{label}",
+            n_supplemental=2,
+        )
+        results[label] = (symphony, app_id, games[0])
+
+    def repeat_queries(label, repeats=5):
+        symphony, app_id, query = results[label]
+        totals = [symphony.query(app_id, query).trace.total_ms()
+                  for __ in range(repeats)]
+        return totals
+
+    on_totals = benchmark.pedantic(
+        repeat_queries, args=("cache_on",), rounds=1, iterations=1
+    )
+    off_totals = repeat_queries("cache_off")
+
+    lines = ["Repeat-query cost, cache on vs off (simulated ms)",
+             f"{'repeat':>7} {'cache_on':>9} {'cache_off':>10}"]
+    for i, (on, off) in enumerate(zip(on_totals, off_totals)):
+        lines.append(f"{i:>7} {on:>9.1f} {off:>10.1f}")
+    speedup = off_totals[-1] / on_totals[-1]
+    lines.append(f"steady-state speedup: {speedup:.1f}x")
+    record_artifact("x2_cache_ablation", "\n".join(lines))
+
+    # First query pays full price either way.
+    assert on_totals[0] == pytest.approx(off_totals[0], rel=0.05)
+    # Cached repeats flatten; uncached stay flat at the high price.
+    assert on_totals[-1] < off_totals[-1]
+    assert speedup > 1.5

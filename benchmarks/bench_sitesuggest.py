@@ -1,0 +1,124 @@
+"""Experiment X1 — Site Suggest quality and cost (§II-A, ref [2]).
+
+Protocol: synthesize click logs in which users querying a topic click
+on that topic's sites together; seed the suggester with a subset of a
+topic's well-known sites and measure recall of the held-out sites among
+the top suggestions, for both scorers. The benchmark times a suggestion
+sweep; assertions require high recall for the log-driven walk and a
+clear win over an off-topic control.
+"""
+
+import pytest
+
+from repro.searchengine.logs import ClickEvent, QueryLog
+from repro.simweb.vocab import topic_vocabulary
+from repro.sitesuggest import SiteCooccurrenceGraph, SiteSuggest
+from repro.util import deterministic_rng
+
+from benchmarks.conftest import record_artifact
+
+TOPICS = ("video_games", "wine", "movies", "travel")
+
+
+def synthesize_log(queries_per_topic=120, clicks_per_query=3,
+                   seed=7) -> QueryLog:
+    """Users querying a topic co-click that topic's sites."""
+    log = QueryLog()
+    rng = deterministic_rng(("sitesuggest-log", seed))
+    for topic in TOPICS:
+        vocab = topic_vocabulary(topic)
+        sites = list(vocab.sites)
+        for i in range(queries_per_topic):
+            query = f"{topic}-query-{i % 40}"
+            for site in rng.sample(sites,
+                                   min(clicks_per_query, len(sites))):
+                log.log_click(ClickEvent(
+                    timestamp_ms=i, query=query,
+                    url=f"http://{site}/page-{i}",
+                ))
+    return log
+
+
+@pytest.fixture(scope="module")
+def suggest_graph():
+    return SiteCooccurrenceGraph.from_query_log(synthesize_log())
+
+
+def recall_at(suggestions, held_out, k):
+    top = {s.site for s in suggestions[:k]}
+    return len(top & set(held_out)) / len(held_out)
+
+
+def sweep(graph, method):
+    """Seed with half of each topic's sites; recall the other half."""
+    results = {}
+    suggester = SiteSuggest(graph)
+    for topic in TOPICS:
+        sites = list(topic_vocabulary(topic).sites)
+        half = max(1, len(sites) // 2)
+        seeds, held_out = sites[:half], sites[half:]
+        if not held_out:
+            continue
+        suggestions = suggester.suggest(seeds, count=10, method=method)
+        results[topic] = recall_at(suggestions, held_out,
+                                   k=len(held_out) + 2)
+    return results
+
+
+def test_sitesuggest_recall_random_walk(benchmark, suggest_graph):
+    recalls = benchmark.pedantic(
+        sweep, args=(suggest_graph, "random_walk"),
+        rounds=3, iterations=1,
+    )
+    pmi_recalls = sweep(suggest_graph, "pmi")
+
+    lines = ["Site Suggest recall of held-out same-topic sites",
+             f"{'topic':<14} {'random_walk':>12} {'pmi':>8}"]
+    for topic in recalls:
+        lines.append(f"{topic:<14} {recalls[topic]:>12.2f} "
+                     f"{pmi_recalls.get(topic, 0.0):>8.2f}")
+    mean_rw = sum(recalls.values()) / len(recalls)
+    mean_pmi = sum(pmi_recalls.values()) / len(pmi_recalls)
+    lines.append(f"{'MEAN':<14} {mean_rw:>12.2f} {mean_pmi:>8.2f}")
+    record_artifact("x1_sitesuggest_recall", "\n".join(lines))
+
+    # Co-click structure is strong in the synthetic logs: the walk must
+    # recover nearly all held-out sites for every topic.
+    assert all(value >= 0.8 for value in recalls.values()), recalls
+    assert mean_rw >= 0.9
+    assert mean_pmi >= 0.8
+
+
+def test_sitesuggest_rejects_off_topic(benchmark, suggest_graph):
+    suggester = SiteSuggest(suggest_graph)
+    game_sites = topic_vocabulary("video_games").sites
+
+    suggestions = benchmark.pedantic(
+        lambda: suggester.suggest(list(game_sites[:3]), count=10),
+        rounds=3, iterations=1,
+    )
+    wine_sites = set(topic_vocabulary("wine").sites)
+    suggested = {s.site for s in suggestions}
+    # No cross-topic contamination: wine sites never co-click with
+    # game sites in the synthesized logs.
+    assert not suggested & wine_sites
+
+
+def test_sitesuggest_cold_start_with_link_prior(benchmark, bench_web):
+    """With zero log evidence, the link-structure prior still works."""
+    graph = SiteCooccurrenceGraph()
+    graph.blend_link_graph(bench_web.domain_link_graph())
+    suggester = SiteSuggest(graph)
+
+    suggestions = benchmark.pedantic(
+        lambda: suggester.suggest(["gamespot.com", "ign.com"],
+                                  count=8),
+        rounds=3, iterations=1,
+    )
+    assert suggestions
+    suggested_topics = {
+        bench_web.sites[s.site].topic
+        for s in suggestions if s.site in bench_web.sites
+    }
+    # Links are predominantly same-topic, so suggestions should be too.
+    assert "video_games" in suggested_topics

@@ -1,0 +1,126 @@
+"""Experiment T1 — regenerate Table I (capability comparison).
+
+The paper's Table I compares Symphony with Yahoo! BOSS, Rollyo,
+Eurekster, Google Custom Search, and Google Base along six capability
+rows. Here the matrix is rebuilt by *probing live implementations* of
+all six platforms; the benchmark times a full probe sweep, and the
+assertions check the regenerated matrix cell-for-cell against the
+printed table.
+"""
+
+import pytest
+
+from repro.baselines import (
+    EureksterPlatform,
+    GoogleBasePlatform,
+    GoogleCustomSearchPlatform,
+    RollyoPlatform,
+    YahooBossPlatform,
+    build_table_one,
+)
+from repro.baselines.probe import SymphonyProbeAdapter, format_table
+from repro.core.capability import TABLE_I_ROWS
+
+from benchmarks.conftest import record_artifact
+
+# The matrix exactly as printed in the paper (our Symphony search-API
+# cell names the local substrate, per the DESIGN.md substitution table).
+PAPER_TABLE = {
+    "Search API": [
+        "Bing (local substrate)", "Yahoo", "Yahoo", "Yahoo",
+        "Google", "Google",
+    ],
+    "Custom Sites": [
+        "Supported", "Supported", "Supported", "Supported",
+        "Supported", "No",
+    ],
+    "Proprietary, Structured Data": [
+        "Supports various uploads (HTTP or FTP, RSS, workbook, txt, "
+        "xml)",
+        "Limited to partners", "No", "No", "No",
+        "Supports various uploads (RSS, txt, xml)",
+    ],
+    "Monetization": [
+        "Ads voluntary (revenue-sharing)", "Ads mandatory",
+        "Show your own ads",
+        "Ads mandatory for for-profit entities.",
+        "Ads mandatory for for-profit entities.", "No",
+    ],
+    "Custom UI": [
+        "Drag'n'drop", "Mashup Python library, HTML/CSS",
+        "Basic styling (e.g., colors, fonts)",
+        "Basic styling (e.g., colors, fonts)",
+        "Basic styling (e.g., colors, fonts)", "No",
+    ],
+    "Deployment of Search Applications": [
+        "Hosted at server, published to 3rd-party sites, or Facebook",
+        "No assistance.",
+        "Only allows search box on 3rd-party sites",
+        "Only allows search box on 3rd-party sites",
+        "3rd-party sites",
+        "Data to surface on Google's search products",
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def platforms(bench_symphony):
+    return [
+        SymphonyProbeAdapter(bench_symphony),
+        YahooBossPlatform(bench_symphony.engine,
+                          ad_service=bench_symphony.ads),
+        RollyoPlatform(bench_symphony.engine),
+        EureksterPlatform(bench_symphony.engine),
+        GoogleCustomSearchPlatform(bench_symphony.engine),
+        GoogleBasePlatform(bench_symphony.engine),
+    ]
+
+
+def test_table1_regenerated_from_live_probes(benchmark, platforms):
+    table = benchmark.pedantic(
+        build_table_one, args=(platforms,), rounds=3, iterations=1
+    )
+
+    record_artifact(
+        "table1_comparison",
+        format_table(table, cell_width=24)
+        + "\n\nconsistency problems: "
+        + (", ".join(table["problems"]) or "none"),
+    )
+
+    assert table["columns"] == [
+        "Symphony", "Y! BOSS", "Rollyo", "Eurekster", "Google Custom",
+        "Google Base",
+    ]
+    assert tuple(table["rows"]) == TABLE_I_ROWS
+    for row_name, expected in PAPER_TABLE.items():
+        assert table["rows"][row_name] == expected, row_name
+    # Every printed claim was verified against observed behaviour.
+    assert table["problems"] == []
+
+
+def test_table1_probe_outcomes_match_paper_story(benchmark, platforms):
+    from repro.baselines.probe import probe_platform
+
+    outcomes = benchmark.pedantic(
+        lambda: [probe_platform(p) for p in platforms],
+        rounds=3, iterations=1,
+    )
+    by_system = {o.system: o for o in outcomes}
+
+    # Only Symphony and Google Base actually accept structured uploads,
+    # and only Symphony both accepts uploads AND builds custom search.
+    uploaders = {name for name, o in by_system.items()
+                 if o.upload_worked}
+    assert uploaders == {"Symphony", "Google Base"}
+    full_platforms = {name for name, o in by_system.items()
+                      if o.upload_worked and o.custom_sites_worked}
+    assert full_platforms == {"Symphony"}
+    # Symphony is the only system with voluntary ads + revenue share.
+    symphony_policy = by_system["Symphony"].monetization
+    assert symphony_policy["ads_mandatory"] is False
+    assert symphony_policy["revenue_share"] > 0
+    # And the only one whose UI requires no code while going beyond
+    # basic styling.
+    assert by_system["Symphony"].ui["mode"] == "drag-n-drop"
+    assert by_system["Symphony"].ui["coding_required"] is False

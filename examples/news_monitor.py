@@ -1,0 +1,130 @@
+"""A news-monitoring application: RSS + crawling + the news vertical +
+application composition.
+
+Run with::
+
+    python examples/news_monitor.py
+
+A media analyst ingests RSS feeds and a focused crawl into private
+tables, builds a fresh-news application over the news vertical, then
+composes it with a second topic application into a single dashboard —
+the paper's future-work item "creating new applications by composing
+other applications".
+"""
+
+from repro import Symphony
+from repro.analytics import compose_applications
+from repro.ingest.crawler import CrawlPolicy
+from repro.simweb.vocab import topic_vocabulary
+
+
+def main() -> None:
+    symphony = Symphony()
+    analyst = symphony.register_designer("Marco")
+
+    # -- Ingest: RSS feeds from two news sites, plus a focused crawl -------
+    news_sites = topic_vocabulary("news").sites[:2]
+    total = 0
+    for domain in news_sites:
+        report = symphony.ingest_rss_feed(
+            analyst, domain, "feed_items",
+            key_field="link", indexed_fields=("link",),
+        )
+        total += report.inserted + report.updated
+    print(f"RSS ingested from {len(news_sites)} feeds: "
+          f"{total} items")
+
+    seeds = [p.url for p in symphony.web.pages_on(news_sites[0])[:3]]
+    crawl_report = symphony.crawl_into(
+        analyst, seeds, "crawled_pages",
+        CrawlPolicy(max_pages=12, max_depth=2,
+                    allowed_domains=tuple(news_sites)),
+    )
+    print(f"Crawled {crawl_report.inserted} pages from "
+          f"{news_sites[0]}")
+
+    # -- Sources -------------------------------------------------------------
+    feed_source = symphony.add_proprietary_source(
+        analyst, "feed_items", search_fields=("title", "description"),
+        name="Tracked feeds",
+    )
+    live_news = symphony.add_web_source(
+        "Breaking news", "news", freshness_days=90,
+    )
+    tech_web = symphony.add_web_source(
+        "Tech coverage", "web",
+        sites=tuple(topic_vocabulary("tech").sites[:3]),
+    )
+
+    designer = symphony.designer()
+
+    # -- App 1: the news monitor ------------------------------------------------
+    news_session = designer.new_application(
+        "Newsroom Monitor", analyst.tenant.tenant_id
+    )
+    news_session.apply_template("midnight")
+    slot = news_session.drag_source_onto_app(
+        feed_source.source_id, heading="Tracked headlines",
+        max_results=3, search_fields=("title", "description"),
+    )
+    news_session.add_hyperlink(slot, "title", href_field="link")
+    news_session.add_text(slot, "description", font_size="12px")
+    news_session.drag_source_onto_result_layout(
+        slot, live_news.source_id, drive_fields=("title",),
+        heading="Latest coverage", max_results=2,
+    )
+    news_app = news_session.build()
+
+    # -- App 2: a tech vertical ---------------------------------------------------
+    tech_session = designer.new_application(
+        "Tech Radar", analyst.tenant.tenant_id
+    )
+    tech_slot = tech_session.drag_source_onto_app(
+        tech_web.source_id, heading="Tech stories", max_results=3,
+    )
+    tech_session.add_hyperlink(tech_slot, "title")
+    tech_session.add_text(tech_slot, "snippet", color="#789")
+    tech_app = tech_session.build()
+
+    # -- Compose them into one dashboard -------------------------------------------
+    dashboard = compose_applications(
+        "Morning Dashboard", analyst.tenant.tenant_id,
+        [news_app, tech_app], theme="midnight",
+    )
+    for app in (news_app, tech_app, dashboard):
+        symphony.host(app)
+    print(f"Hosted three applications: {symphony.apps.ids()}")
+
+    # -- Query the composed dashboard -----------------------------------------------
+    query = "market report"
+    response = symphony.query(dashboard.app_id, query,
+                              session_id="marco")
+    print()
+    print(f"Dashboard query: {query!r} "
+          f"({response.trace.total_ms():.1f} ms)")
+    by_slot: dict = {}
+    for view in response.views:
+        by_slot.setdefault(view.slot_binding_id, []).append(view)
+    for slot_def in dashboard.slots:
+        views = by_slot.get(slot_def.binding_id, [])
+        print(f"  [{slot_def.heading}] {len(views)} results")
+        for view in views[:2]:
+            print(f"     * {view.item.title[:60]}")
+            for result in view.supplemental.values():
+                for item in result.items:
+                    print(f"         + {item.title[:56]}")
+
+    # -- Freshness matters for the news vertical --------------------------------------
+    from repro.searchengine.engine import SearchOptions
+    all_time = symphony.engine.search("news", "report",
+                                      SearchOptions(count=50))
+    recent = symphony.engine.search(
+        "news", "report", SearchOptions(count=50, freshness_days=30)
+    )
+    print()
+    print(f"News vertical: {all_time.total_matches} matches all-time, "
+          f"{recent.total_matches} within 30 days")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``python setup.py develop`` (and older pip versions) install the
+package from ``pyproject.toml`` metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

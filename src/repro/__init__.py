@@ -1,0 +1,39 @@
+"""Reproduction of "Symphony: A Platform for Search-Driven Applications"
+(Shafer, Agrawal, Lauw — ICDE 2010).
+
+Quickstart::
+
+    from repro import Symphony
+
+    symphony = Symphony()                      # builds a synthetic web
+    ann = symphony.register_designer("Ann")
+    symphony.upload_http(ann, "inventory.csv", csv_bytes, "inventory",
+                         content_type="text/csv")
+    inventory = symphony.add_proprietary_source(
+        ann, "inventory", search_fields=("title", "producer"))
+    reviews = symphony.add_web_source(
+        "Reviews", "web", sites=("gamespot.com", "ign.com"))
+
+    designer = symphony.designer()
+    session = designer.new_application("GamerQueen",
+                                       ann.tenant.tenant_id)
+    slot = session.drag_source_onto_app(inventory.source_id,
+                                        search_fields=("title",))
+    session.add_hyperlink(slot, "title")
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        query_suffix="review")
+
+    app_id = symphony.host(session)
+    response = symphony.query(app_id, "halo")
+    print(response.html)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-artifact reproductions (Table I, Fig. 1, Fig. 2).
+"""
+
+from repro.core.platform import DesignerAccount, Symphony
+
+__version__ = "1.0.0"
+
+__all__ = ["Symphony", "DesignerAccount", "__version__"]

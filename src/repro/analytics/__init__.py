@@ -1,0 +1,34 @@
+"""Analytics and the paper's future-work features.
+
+The Conclusions argue that per-application usage logs "may eventually
+provide topic- or community-specific relevance signals to the general
+search engine", and list four future-work directions. This package
+implements them:
+
+* :mod:`aggregation` — per-application log aggregation (term
+  distributions, CTR, site-level engagement);
+* :mod:`signals` — turning app logs into relevance boosts applied back to
+  the general engine;
+* :mod:`recommend` — recommending suitable supplemental content (e.g.
+  good review sites) for a designer's primary content;
+* :mod:`social` — community feedback (votes) re-ranking app results;
+* :mod:`composition` — creating new applications by composing others.
+"""
+
+from repro.analytics.aggregation import AppUsageProfile, LogAggregator
+from repro.analytics.composition import compose_applications
+from repro.analytics.recommend import SupplementalRecommender
+from repro.analytics.signals import RelevanceSignalExporter
+from repro.analytics.social import CommunityFeedback
+from repro.analytics.trends import TrendReport, compute_trends
+
+__all__ = [
+    "AppUsageProfile",
+    "LogAggregator",
+    "compose_applications",
+    "SupplementalRecommender",
+    "RelevanceSignalExporter",
+    "CommunityFeedback",
+    "TrendReport",
+    "compute_trends",
+]

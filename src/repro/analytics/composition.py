@@ -1,0 +1,87 @@
+"""Application composition.
+
+Future work item 4: "creating new applications by composing other
+applications". Composition takes two (or more) hosted application
+definitions and produces a new one that carries every constituent's
+bindings and top-level slots side by side, with binding ids re-minted to
+avoid collisions. Supplemental structure under each primary slot is
+preserved verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import (
+    ApplicationDefinition,
+    SourceBinding,
+    SourceSlot,
+)
+from repro.errors import ValidationError
+from repro.util import IdGenerator
+
+__all__ = ["compose_applications"]
+
+
+def _remap_slot(slot: SourceSlot, mapping: dict) -> SourceSlot:
+    return SourceSlot(
+        binding_id=mapping[slot.binding_id],
+        heading=slot.heading,
+        result_layout=slot.result_layout,
+        children=tuple(_remap_slot(child, mapping)
+                       for child in slot.children),
+        style=dict(slot.style),
+    )
+
+
+def compose_applications(name: str, owner_tenant: str, apps,
+                         ids: IdGenerator | None = None,
+                         theme: str | None = None
+                         ) -> ApplicationDefinition:
+    """Compose ``apps`` into one new application definition.
+
+    The result is validated before being returned; hosting it is the
+    caller's decision (typically ``symphony.host(composed)``).
+    """
+    apps = list(apps)
+    if len(apps) < 2:
+        raise ValidationError(
+            "composition needs at least two applications"
+        )
+    ids = ids or IdGenerator()
+    bindings: list[SourceBinding] = []
+    slots: list[SourceSlot] = []
+    for app in apps:
+        mapping = {}
+        for binding in app.bindings:
+            new_id = ids.next_id("composed-binding")
+            mapping[binding.binding_id] = new_id
+            bindings.append(SourceBinding(
+                binding_id=new_id,
+                source_id=binding.source_id,
+                role=binding.role,
+                max_results=binding.max_results,
+                search_fields=binding.search_fields,
+                drive_fields=binding.drive_fields,
+                query_suffix=binding.query_suffix,
+            ))
+        for slot in app.slots:
+            remapped = _remap_slot(slot, mapping)
+            slots.append(SourceSlot(
+                binding_id=remapped.binding_id,
+                heading=f"{app.name}: {remapped.heading}"
+                        if remapped.heading else app.name,
+                result_layout=remapped.result_layout,
+                children=remapped.children,
+                style=dict(remapped.style),
+            ))
+    composed = ApplicationDefinition(
+        app_id=ids.next_id("composed-app"),
+        name=name,
+        owner_tenant=owner_tenant,
+        description="Composed from: "
+                    + ", ".join(app.name for app in apps),
+        theme=theme or apps[0].theme,
+        bindings=tuple(bindings),
+        slots=tuple(slots),
+    )
+    composed.validate()
+    return composed

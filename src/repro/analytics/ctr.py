@@ -1,0 +1,60 @@
+"""Click-through-rate analysis by result position.
+
+Position bias is the first thing a search-application owner looks at:
+are customers clicking the top result, or scrolling? Impressions come
+from query events' result lists; clicks are attributed to the position
+the clicked URL occupied for that (application, query) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PositionStats", "ctr_by_position"]
+
+
+@dataclass(frozen=True)
+class PositionStats:
+    position: int      # 1-based rank
+    impressions: int
+    clicks: int
+
+    @property
+    def ctr(self) -> float:
+        return self.clicks / self.impressions if self.impressions \
+            else 0.0
+
+
+def ctr_by_position(log, app_id: str,
+                    max_positions: int = 10) -> list[PositionStats]:
+    """Impressions/clicks/CTR per displayed rank for one application.
+
+    A URL's position is looked up in the result list the application
+    served for the same normalized query text; clicks on URLs that
+    never appeared in a result list (or ads) are ignored.
+    """
+    position_of: dict[tuple, int] = {}
+    impressions = [0] * max_positions
+    for event in log.queries_for_app(app_id):
+        key_query = event.query.strip().lower()
+        for rank, url in enumerate(event.result_urls[:max_positions],
+                                   start=1):
+            impressions[rank - 1] += 1
+            position_of.setdefault((key_query, url), rank)
+
+    clicks = [0] * max_positions
+    for click in log.clicks_for_app(app_id):
+        if click.is_ad:
+            continue
+        rank = position_of.get(
+            (click.query.strip().lower(), click.url)
+        )
+        if rank is not None:
+            clicks[rank - 1] += 1
+
+    return [
+        PositionStats(position=i + 1, impressions=impressions[i],
+                      clicks=clicks[i])
+        for i in range(max_positions)
+        if impressions[i] or clicks[i]
+    ]

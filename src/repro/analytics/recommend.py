@@ -1,0 +1,97 @@
+"""Recommending supplemental content for a primary source.
+
+Future work item 1: "recommending suitable supplemental content (e.g.,
+good game review sites) for a designer's primary content (e.g., game
+inventory)". The recommender samples values from the primary table's key
+field, runs them as probe queries against the web vertical, scores sites
+by how consistently they answer, and optionally widens the set through
+Site Suggest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.searchengine.engine import SearchOptions
+
+__all__ = ["SiteRecommendation", "SupplementalRecommender"]
+
+
+@dataclass(frozen=True)
+class SiteRecommendation:
+    site: str
+    coverage: float     # fraction of probes the site answered
+    mean_rank: float    # average position when it answered
+    score: float
+
+
+class SupplementalRecommender:
+    """Suggests supplemental web sites for a proprietary table."""
+
+    def __init__(self, engine, site_suggest=None) -> None:
+        self._engine = engine
+        self._site_suggest = site_suggest
+
+    def recommend(self, table, probe_field: str, count: int = 5,
+                  sample_limit: int = 12, probe_suffix: str = "",
+                  widen: bool = False) -> list[SiteRecommendation]:
+        """Probe the web with sample values of ``probe_field``.
+
+        ``probe_suffix`` focuses probes the way the designer's eventual
+        supplemental binding would ("review", "tasting notes", ...).
+        """
+        probes = []
+        for record in table.all_records()[:sample_limit]:
+            value = record.values.get(probe_field)
+            if value:
+                text = f'"{value}"' if " " in str(value) else str(value)
+                if probe_suffix:
+                    text = f"{text} {probe_suffix}"
+                probes.append(text)
+        if not probes:
+            return []
+
+        answered: dict[str, int] = {}
+        rank_sum: dict[str, float] = {}
+        for probe in probes:
+            response = self._engine.search(
+                "web", probe, SearchOptions(count=8)
+            )
+            seen = set()
+            for rank, result in enumerate(response.results, start=1):
+                if result.site in seen:
+                    continue
+                seen.add(result.site)
+                answered[result.site] = answered.get(result.site, 0) + 1
+                rank_sum[result.site] = rank_sum.get(result.site, 0.0) + rank
+
+        recommendations = []
+        for site, hits in answered.items():
+            coverage = hits / len(probes)
+            mean_rank = rank_sum[site] / hits
+            # Coverage dominates; better (lower) mean rank breaks ties.
+            score = coverage + 1.0 / (1.0 + mean_rank)
+            recommendations.append(SiteRecommendation(
+                site=site,
+                coverage=round(coverage, 4),
+                mean_rank=round(mean_rank, 3),
+                score=round(score, 6),
+            ))
+        recommendations.sort(key=lambda r: (-r.score, r.site))
+        top = recommendations[:count]
+
+        if widen and self._site_suggest is not None and top:
+            seeds = [r.site for r in top]
+            extra = self._site_suggest.suggest(
+                seeds, count=max(0, count - len(top)) or 2
+            )
+            known = {r.site for r in top}
+            for suggestion in extra:
+                if suggestion.site not in known:
+                    top.append(SiteRecommendation(
+                        site=suggestion.site,
+                        coverage=0.0,
+                        mean_rank=0.0,
+                        score=round(suggestion.score, 6),
+                    ))
+        return top[:count] if not widen else top

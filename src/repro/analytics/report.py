@@ -1,0 +1,88 @@
+"""The designer dashboard: one text report per application.
+
+Assembles the monetization summary, usage profile, trends, CTR by
+position, and ad earnings into the "various summaries" §II-A promises
+the designer can obtain — in a shape ready to print or download.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.aggregation import LogAggregator
+from repro.analytics.ctr import ctr_by_position
+from repro.analytics.trends import compute_trends
+
+__all__ = ["designer_dashboard"]
+
+
+def designer_dashboard(symphony, app_id: str,
+                       window_days: int = 7) -> str:
+    """Render the full analytics dashboard for one application."""
+    app = symphony.apps.get(app_id)
+    summary = symphony.traffic_summary(app_id)
+    profile = LogAggregator(symphony.engine.log).profile(app_id)
+    trends = compute_trends(
+        symphony.engine.log, app_id,
+        now_ms=symphony.clock.now_ms, window_days=window_days,
+    )
+    positions = ctr_by_position(symphony.engine.log, app_id,
+                                max_positions=5)
+    earnings = symphony.designer_ad_earnings(app_id)
+
+    lines = [
+        f"=== Dashboard: {app.name} ({app_id}) ===",
+        "",
+        "[Traffic]",
+        f"  queries: {summary.query_count}   "
+        f"clicks: {summary.click_count} "
+        f"(ads: {summary.ad_click_count})   "
+        f"CTR: {summary.click_through_rate:.2f}",
+        f"  sessions: {profile.sessions}",
+    ]
+
+    lines.append("")
+    lines.append("[Top queries]")
+    if summary.top_queries:
+        for query, count in summary.top_queries[:5]:
+            lines.append(f"  {count:>4}  {query}")
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append(f"[Rising queries — last {window_days} days]")
+    if trends.rising:
+        for rising in trends.rising[:5]:
+            lines.append(
+                f"  {rising.query:<28} {rising.recent_count} recent "
+                f"/ {rising.previous_count} before "
+                f"(x{rising.score})"
+            )
+    else:
+        lines.append("  (no recent activity)")
+
+    lines.append("")
+    lines.append("[Click-through by position]")
+    if positions:
+        for stats in positions:
+            bar = "#" * int(round(stats.ctr * 20))
+            lines.append(
+                f"  rank {stats.position}: {stats.ctr:>5.2f} "
+                f"({stats.clicks}/{stats.impressions}) {bar}"
+            )
+    else:
+        lines.append("  (no impressions logged)")
+
+    lines.append("")
+    lines.append("[Clicked sites]")
+    if profile.top_sites(5):
+        for site, count in profile.top_sites(5):
+            lines.append(f"  {count:>4}  {site}")
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("[Monetization]")
+    lines.append(f"  ad earnings credited: ${earnings:.4f}")
+    referral = symphony.referral_report(app_id)
+    lines.append(f"  referral compensation owed: "
+                 f"${referral.total_owed():.2f}")
+    return "\n".join(lines)

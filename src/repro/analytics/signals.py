@@ -1,0 +1,58 @@
+"""Topic/community relevance signals fed back to the general engine.
+
+The Conclusions: usage data "generated from various search applications
+may eventually provide topic- or community-specific relevance signals to
+the general search engine". The exporter converts per-app click counts
+into bounded authority boosts and merges them into the web vertical's
+prior, so community-endorsed pages rank higher for everyone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RelevanceSignalExporter"]
+
+
+@dataclass
+class RelevanceSignalExporter:
+    """Turns :class:`AppUsageProfile` click data into engine boosts."""
+
+    max_boost: float = 0.5   # cap so community signal never dominates BM25
+
+    def url_boosts(self, profiles) -> dict:
+        """Log-scaled, capped per-URL boosts pooled across applications."""
+        pooled: dict[str, int] = {}
+        for profile in profiles:
+            for url, clicks in profile.url_clicks.items():
+                pooled[url] = pooled.get(url, 0) + clicks
+        if not pooled:
+            return {}
+        top = max(pooled.values())
+        return {
+            url: round(
+                self.max_boost * math.log1p(clicks) / math.log1p(top), 6
+            )
+            for url, clicks in pooled.items()
+        }
+
+    def apply_to_engine(self, engine, profiles) -> int:
+        """Merge boosts into the web vertical's authority prior.
+
+        Returns the number of URLs whose prior changed. Boosts are
+        additive on top of link authority, then clipped to 1.0 so the
+        blend stays on the engine's expected scale.
+        """
+        boosts = self.url_boosts(profiles)
+        vertical = engine.vertical("web")
+        changed = 0
+        for url, boost in boosts.items():
+            if url not in vertical.index:
+                continue
+            before = vertical.authority.get(url, 0.0)
+            after = min(1.0, before + boost)
+            if after != before:
+                vertical.authority[url] = after
+                changed += 1
+        return changed

@@ -1,0 +1,71 @@
+"""Social search features: community feedback on application results.
+
+Future work item 3: "adding support for social search features". Users of
+an application can vote results up or down; the feedback store re-ranks a
+result list by blending the retrieval score with a Wilson-style confidence
+on the vote ratio, so a few early votes don't overwhelm relevance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["VoteTally", "CommunityFeedback"]
+
+
+@dataclass
+class VoteTally:
+    up: int = 0
+    down: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.up + self.down
+
+    def wilson_lower_bound(self, z: float = 1.96) -> float:
+        """Lower bound of the Wilson score interval on the up-vote rate."""
+        n = self.total
+        if n == 0:
+            return 0.0
+        phat = self.up / n
+        denominator = 1 + z * z / n
+        centre = phat + z * z / (2 * n)
+        margin = z * math.sqrt(
+            (phat * (1 - phat) + z * z / (4 * n)) / n
+        )
+        return (centre - margin) / denominator
+
+
+@dataclass
+class CommunityFeedback:
+    """Per-application vote store with re-ranking."""
+
+    vote_weight: float = 0.5
+    _votes: dict = field(default_factory=dict)  # (app_id, url) -> VoteTally
+
+    def vote_up(self, app_id: str, url: str) -> VoteTally:
+        tally = self._votes.setdefault((app_id, url), VoteTally())
+        tally.up += 1
+        return tally
+
+    def vote_down(self, app_id: str, url: str) -> VoteTally:
+        tally = self._votes.setdefault((app_id, url), VoteTally())
+        tally.down += 1
+        return tally
+
+    def tally(self, app_id: str, url: str) -> VoteTally:
+        return self._votes.get((app_id, url), VoteTally())
+
+    def rerank(self, app_id: str, items) -> list:
+        """Re-rank ``items`` (objects with ``url`` and ``score``).
+
+        The social component multiplies the retrieval score by
+        ``1 + vote_weight * wilson``; unvoted items keep their order.
+        """
+        def key(item):
+            wilson = self.tally(app_id, item.url).wilson_lower_bound()
+            return (-(item.score * (1.0 + self.vote_weight * wilson)),
+                    item.url)
+
+        return sorted(items, key=key)

@@ -1,0 +1,28 @@
+"""Table I baselines: working reduced implementations of the compared
+systems.
+
+The paper's Table I compares Symphony against Yahoo! BOSS, Rollyo,
+Eurekster, Google Custom Search, and Google Base. Rather than hard-coding
+the matrix, this package implements each system's *behaviour* (to the
+granularity Table I describes) over the same local search substrate, and
+:mod:`probe` regenerates the table by exercising those behaviours live —
+attempting uploads, building site-restricted searches, inspecting
+monetization policy, and so on.
+"""
+
+from repro.baselines.eurekster import EureksterPlatform
+from repro.baselines.google_base import GoogleBasePlatform
+from repro.baselines.google_custom import GoogleCustomSearchPlatform
+from repro.baselines.probe import build_table_one, probe_platform
+from repro.baselines.rollyo import RollyoPlatform
+from repro.baselines.yboss import YahooBossPlatform
+
+__all__ = [
+    "EureksterPlatform",
+    "GoogleBasePlatform",
+    "GoogleCustomSearchPlatform",
+    "RollyoPlatform",
+    "YahooBossPlatform",
+    "build_table_one",
+    "probe_platform",
+]

@@ -1,0 +1,114 @@
+"""Eurekster baseline: "swickis" — community custom search.
+
+Table I: Yahoo search API; custom sites supported; no proprietary data;
+ads mandatory for for-profit entities; basic styling; search box on
+3rd-party sites only. Eurekster's distinguishing feature was community
+click feedback re-ranking results, which we also implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselinePlatform, CustomSearchEngine
+from repro.core.capability import CapabilityProfile
+from repro.errors import NotFoundError
+
+__all__ = ["Swicki", "EureksterPlatform"]
+
+
+@dataclass
+class Swicki:
+    """A community search engine with click-boost re-ranking."""
+
+    custom: CustomSearchEngine
+    for_profit: bool = False
+    click_boosts: dict = field(default_factory=dict)  # url -> clicks
+
+    @property
+    def name(self) -> str:
+        return self.custom.name
+
+    def record_community_click(self, url: str) -> None:
+        self.click_boosts[url] = self.click_boosts.get(url, 0) + 1
+
+    def search(self, query_text: str, count: int = 10):
+        """Search, then re-rank by community click feedback."""
+        response = self.custom.search(query_text, count=count * 2)
+        reranked = sorted(
+            response.results,
+            key=lambda r: (-self.click_boosts.get(r.url, 0), -r.score,
+                           r.url),
+        )
+        return reranked[:count]
+
+
+class EureksterPlatform(BaselinePlatform):
+    """Eurekster: community custom search (\"swickis\")."""
+
+    system_name = "Eurekster"
+    api_name = "Yahoo (local substrate)"
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self._swickis: dict[str, Swicki] = {}
+
+    def create_swicki(self, name: str, sites,
+                      for_profit: bool = False) -> Swicki:
+        swicki = Swicki(
+            custom=CustomSearchEngine(
+                name=name, engine=self.engine, sites=tuple(sites)
+            ),
+            for_profit=for_profit,
+        )
+        self._swickis[name] = swicki
+        return swicki
+
+    def swicki(self, name: str) -> Swicki:
+        try:
+            return self._swickis[name]
+        except KeyError:
+            raise NotFoundError(f"no swicki {name!r}") from None
+
+    def ads_required_for(self, swicki_name: str) -> bool:
+        return self.swicki(swicki_name).for_profit
+
+    def search_box_snippet(self, swicki_name: str) -> str:
+        swicki = self.swicki(swicki_name)
+        return (
+            f'<form action="https://eurekster.example/s/{swicki.name}" '
+            f'method="get">\n'
+            f'  <input type="text" name="q"/>\n'
+            f"  <button>Search</button>\n"
+            f"</form>"
+        )
+
+    # -- probe protocol ------------------------------------------------------------
+
+    def monetization_policy(self) -> dict:
+        return {
+            "ads_mandatory": "for-profit-only",
+            "revenue_share": 0.0,
+            "own_ads_allowed": False,
+        }
+
+    def ui_customization(self) -> dict:
+        return {
+            "mode": "basic-styling",
+            "coding_required": False,
+            "properties": ["color", "font-family", "font-size"],
+        }
+
+    def deployment_options(self) -> list:
+        return ["search-box-embed"]
+
+    def capability_profile(self) -> CapabilityProfile:
+        return CapabilityProfile(
+            system=self.system_name,
+            search_api="Yahoo",
+            custom_sites="Supported",
+            proprietary_structured_data="No",
+            monetization="Ads mandatory for for-profit entities.",
+            custom_ui="Basic styling (e.g., colors, fonts)",
+            deployment="Only allows search box on 3rd-party sites",
+        )

@@ -1,0 +1,232 @@
+"""Live capability probes that regenerate Table I.
+
+``probe_platform`` *exercises* a platform — attempts a structured-data
+upload, a site-restricted search, monetization/UI/deployment introspection
+— and records what actually worked. ``build_table_one`` assembles the
+printed matrix from each platform's :class:`CapabilityProfile` and
+cross-checks every claim against the observed behaviour, so the benchmark
+cannot drift from the implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capability import TABLE_I_ROWS
+from repro.errors import UnsupportedCapabilityError
+
+__all__ = ["ProbeOutcome", "SymphonyProbeAdapter", "probe_platform",
+           "build_table_one", "format_table"]
+
+_SAMPLE_ROWS = [
+    {"title": "Halo Odyssey", "price": "49.99"},
+    {"title": "Braid Arena", "price": "19.99"},
+]
+
+_SAMPLE_SITES = ("gamespot.com", "ign.com")
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """What actually worked when we exercised a platform."""
+
+    system: str
+    custom_sites_worked: bool
+    upload_worked: bool
+    monetization: dict | None     # None = unsupported
+    ui: dict | None
+    deployment: list | None
+
+
+class SymphonyProbeAdapter:
+    """Adapts the Symphony facade to the baseline probe protocol.
+
+    Symphony's upload call needs a designer account; baselines don't have
+    accounts at all, which is itself part of the story (they aren't
+    designer platforms).
+    """
+
+    system_name = "Symphony"
+
+    def __init__(self, symphony, account=None) -> None:
+        self._symphony = symphony
+        self._account = account or symphony.register_designer(
+            "probe-designer"
+        )
+        self._probe_serial = 0
+
+    def search_api_name(self) -> str:
+        return self._symphony.search_api_name()
+
+    def probe_custom_sites(self) -> bool:
+        source = self._symphony.add_web_source(
+            "probe restricted", "web", sites=_SAMPLE_SITES
+        )
+        return tuple(source.sites) == _SAMPLE_SITES
+
+    def upload_structured_data(self, rows, table_name: str = "data"):
+        self._probe_serial += 1
+        report = self._symphony.upload_structured_data(
+            self._account, rows, f"{table_name}_{self._probe_serial}"
+        )
+        return report.inserted
+
+    def monetization_policy(self) -> dict:
+        return self._symphony.monetization_policy()
+
+    def ui_customization(self) -> dict:
+        return self._symphony.ui_customization()
+
+    def deployment_options(self) -> list:
+        return self._symphony.deployment_options()
+
+    def capability_profile(self):
+        return self._symphony.capability_profile()
+
+
+def _probe_custom_sites(platform) -> bool:
+    """Try to build a site-restricted search on the platform."""
+    if hasattr(platform, "probe_custom_sites"):
+        return platform.probe_custom_sites()
+    for factory_name in ("create_searchroll", "create_swicki",
+                         "create_engine"):
+        factory = getattr(platform, factory_name, None)
+        if factory is not None:
+            custom = factory("probe", _SAMPLE_SITES)
+            response = custom.search("halo")
+            sites = {r.site for r in getattr(response, "results", response)}
+            return sites <= set(_SAMPLE_SITES)
+    if hasattr(platform, "api_search"):  # BOSS: restriction via the API
+        response = platform.api_search("halo", sites=_SAMPLE_SITES)
+        return {r.site for r in response.results} <= set(_SAMPLE_SITES)
+    if hasattr(platform, "create_custom_search"):
+        try:
+            platform.create_custom_search("probe", _SAMPLE_SITES)
+            return True
+        except UnsupportedCapabilityError:
+            return False
+    return False
+
+
+def probe_platform(platform) -> ProbeOutcome:
+    """Exercise one platform and record observed capabilities."""
+    custom_sites = _probe_custom_sites(platform)
+
+    try:
+        inserted = platform.upload_structured_data(list(_SAMPLE_ROWS))
+        upload_worked = bool(inserted)
+    except UnsupportedCapabilityError:
+        upload_worked = False
+
+    try:
+        monetization = platform.monetization_policy()
+    except UnsupportedCapabilityError:
+        monetization = None
+
+    try:
+        ui = platform.ui_customization()
+    except UnsupportedCapabilityError:
+        ui = None
+
+    try:
+        deployment = platform.deployment_options()
+    except UnsupportedCapabilityError:
+        deployment = None
+
+    system = getattr(platform, "system_name", type(platform).__name__)
+    return ProbeOutcome(
+        system=system,
+        custom_sites_worked=custom_sites,
+        upload_worked=upload_worked,
+        monetization=monetization,
+        ui=ui,
+        deployment=deployment,
+    )
+
+
+def _check_consistency(profile, outcome: ProbeOutcome) -> list[str]:
+    """Claims in the printed profile must match observed behaviour."""
+    problems = []
+    claims_sites = profile.custom_sites.lower() != "no"
+    if claims_sites != outcome.custom_sites_worked:
+        problems.append(
+            f"{profile.system}: custom-sites claim "
+            f"{profile.custom_sites!r} vs observed "
+            f"{outcome.custom_sites_worked}"
+        )
+    claims_upload = ("supports" in
+                     profile.proprietary_structured_data.lower())
+    if claims_upload != outcome.upload_worked:
+        problems.append(
+            f"{profile.system}: structured-data claim "
+            f"{profile.proprietary_structured_data!r} vs observed "
+            f"{outcome.upload_worked}"
+        )
+    claims_monetization = profile.monetization.lower() != "no"
+    if claims_monetization != (outcome.monetization is not None):
+        problems.append(
+            f"{profile.system}: monetization claim "
+            f"{profile.monetization!r} vs observed "
+            f"{outcome.monetization}"
+        )
+    claims_ui = profile.custom_ui.lower() != "no"
+    if claims_ui != (outcome.ui is not None):
+        problems.append(
+            f"{profile.system}: custom-ui claim {profile.custom_ui!r} "
+            f"vs observed {outcome.ui}"
+        )
+    return problems
+
+
+def build_table_one(platforms) -> dict:
+    """Probe each platform and assemble the verified Table I.
+
+    Returns ``{"columns": [system...], "rows": {row: [cell...]},
+    "outcomes": [...], "problems": [...]}``; ``problems`` non-empty means
+    an implementation drifted from its printed claim.
+    """
+    profiles = []
+    outcomes = []
+    problems = []
+    for platform in platforms:
+        profile = platform.capability_profile()
+        outcome = probe_platform(platform)
+        problems.extend(_check_consistency(profile, outcome))
+        profiles.append(profile)
+        outcomes.append(outcome)
+    rows = {}
+    for i, row_name in enumerate(TABLE_I_ROWS):
+        rows[row_name] = [profile.cells()[i] for profile in profiles]
+    return {
+        "columns": [profile.system for profile in profiles],
+        "rows": rows,
+        "outcomes": outcomes,
+        "problems": problems,
+    }
+
+
+def format_table(table: dict, cell_width: int = 20) -> str:
+    """Render the Table I dict as aligned text."""
+    columns = table["columns"]
+    header_label = "Capability"
+    label_width = max(len(header_label),
+                      *(len(name) for name in table["rows"]))
+    lines = []
+
+    def clip(text: str) -> str:
+        text = str(text)
+        return (text[: cell_width - 1] + "…") if len(text) > cell_width \
+            else text
+
+    header = " | ".join(
+        [header_label.ljust(label_width)]
+        + [clip(c).ljust(cell_width) for c in columns]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_name, cells in table["rows"].items():
+        lines.append(" | ".join(
+            [row_name.ljust(label_width)]
+            + [clip(cell).ljust(cell_width) for cell in cells]
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Command-line interface: demo and inspection entry points.
+
+Usage::
+
+    python -m repro.cli demo                 # run the GamerQueen demo
+    python -m repro.cli table1               # regenerate Table I
+    python -m repro.cli search "halo review" # query the web vertical
+    python -m repro.cli suggest gamespot.com ign.com
+    python -m repro.cli stats                # synthetic web statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.platform import Symphony
+from repro.searchengine.engine import SearchOptions
+
+__all__ = ["main"]
+
+
+def _build_platform(seed: int) -> Symphony:
+    from repro.simweb.generator import WebSpec
+    return Symphony(web_spec=WebSpec(seed=seed))
+
+
+def _cmd_stats(args) -> int:
+    symphony = _build_platform(args.seed)
+    stats = symphony.web.stats()
+    print("Synthetic web:")
+    for key, value in stats.items():
+        print(f"  {key:<8} {value}")
+    print("Topics:", ", ".join(sorted(symphony.web.entities)))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    symphony = _build_platform(args.seed)
+    options = SearchOptions(count=args.count,
+                            sites=tuple(args.site or ()))
+    response = symphony.engine.search(args.vertical, args.query,
+                                      options)
+    print(f"{response.total_matches} matches "
+          f"({response.elapsed_ms:.1f} simulated ms)")
+    if response.suggestion:
+        print(f"did you mean: {response.suggestion!r}?")
+    for i, result in enumerate(response.results, start=1):
+        print(f"{i:>2}. [{result.score:8.3f}] {result.title}")
+        print(f"      {result.url}")
+        print(f"      {result.snippet}")
+    return 0
+
+
+def _cmd_suggest(args) -> int:
+    symphony = _build_platform(args.seed)
+    suggestions = symphony.site_suggest(args.seeds, count=args.count)
+    if not suggestions:
+        print("no suggestions (no usage data; try after running apps)")
+        return 1
+    print(f"Sites related to {{{', '.join(args.seeds)}}}:")
+    for suggestion in suggestions:
+        print(f"  {suggestion.site:<32} {suggestion.score:.5f}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.baselines import (
+        EureksterPlatform,
+        GoogleBasePlatform,
+        GoogleCustomSearchPlatform,
+        RollyoPlatform,
+        YahooBossPlatform,
+        build_table_one,
+    )
+    from repro.baselines.probe import SymphonyProbeAdapter, format_table
+
+    symphony = _build_platform(args.seed)
+    table = build_table_one([
+        SymphonyProbeAdapter(symphony),
+        YahooBossPlatform(symphony.engine, ad_service=symphony.ads),
+        RollyoPlatform(symphony.engine),
+        EureksterPlatform(symphony.engine),
+        GoogleCustomSearchPlatform(symphony.engine),
+        GoogleBasePlatform(symphony.engine),
+    ])
+    print(format_table(table, cell_width=args.width))
+    if table["problems"]:
+        print("\nconsistency problems:")
+        for problem in table["problems"]:
+            print(f"  - {problem}")
+        return 1
+    print("\nall printed claims verified against live probes")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    symphony = _build_platform(args.seed)
+    account = symphony.register_designer("Ann")
+    games = symphony.web.entities["video_games"][:5]
+    rows = ["title,producer,description"]
+    rows += [f'{g},Studio {i},"A classic {g} experience"'
+             for i, g in enumerate(games)]
+    symphony.upload_http(account, "inventory.csv",
+                         "\n".join(rows).encode(), "inventory",
+                         content_type="text/csv")
+    inventory = symphony.add_proprietary_source(
+        account, "inventory",
+        search_fields=("title", "producer", "description"),
+    )
+    reviews = symphony.add_web_source(
+        "Game reviews", "web",
+        sites=("gamespot.com", "ign.com", "teamxbox.com"),
+    )
+    session = symphony.designer().new_application(
+        "GamerQueen", account.tenant.tenant_id
+    )
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=3,
+        search_fields=("title", "producer", "description"),
+    )
+    session.add_hyperlink(slot, "title")
+    session.add_text(slot, "description")
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews", max_results=2, query_suffix="review",
+    )
+    print(session.describe_canvas())
+    app_id = symphony.host(session)
+    query = args.query or games[0]
+    response = symphony.query(app_id, query, session_id="cli-demo")
+    print()
+    print(response.trace.describe())
+    print()
+    for view in response.views:
+        print(f"* {view.item.title}")
+        for result in view.supplemental.values():
+            for item in result.items:
+                print(f"    review: {item.title} ({item.get('site')})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Symphony reproduction command-line interface",
+    )
+    parser.add_argument("--seed", type=int, default=2010,
+                        help="synthetic-web seed (default 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="synthetic web statistics")
+
+    search = sub.add_parser("search", help="query a search vertical")
+    search.add_argument("query")
+    search.add_argument("--vertical", default="web",
+                        choices=("web", "image", "video", "news"))
+    search.add_argument("--count", type=int, default=5)
+    search.add_argument("--site", action="append",
+                        help="restrict to this site (repeatable)")
+
+    suggest = sub.add_parser("suggest",
+                             help="Site Suggest for seed sites")
+    suggest.add_argument("seeds", nargs="+")
+    suggest.add_argument("--count", type=int, default=5)
+
+    table1 = sub.add_parser("table1",
+                            help="regenerate the paper's Table I")
+    table1.add_argument("--width", type=int, default=22)
+
+    demo = sub.add_parser("demo", help="run the GamerQueen demo")
+    demo.add_argument("--query", default="")
+    return parser
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "search": _cmd_search,
+    "suggest": _cmd_suggest,
+    "table1": _cmd_table1,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Symphony core: the paper's primary contribution.
+
+Subpackages mirror §II of the paper:
+
+* :mod:`datasources` — the uniform content-source contract plus adapters
+  for proprietary tables, the four search verticals, SOAP/REST services,
+  ads, and customer data (Data Integration);
+* :mod:`application` — the declarative application definition the runtime
+  executes (the "configuration file for the application");
+* :mod:`designer` — the no-code design surface as an API (Fig. 1);
+* :mod:`presentation` — layout → HTML rendering, styles, templates;
+* :mod:`runtime` — query execution (Fig. 2);
+* :mod:`distribution` — embed snippets, social publishing, hosting;
+* :mod:`monetization` — click logging, summaries, ad revenue crediting;
+* :mod:`platform` — the :class:`~repro.core.platform.Symphony` facade.
+"""
+
+from repro.core.platform import DesignerAccount, Symphony
+
+__all__ = ["DesignerAccount", "Symphony"]

@@ -1,0 +1,530 @@
+"""Data sources: the uniform contract every content provider implements.
+
+"The various proprietary, 3rd-party and built-in data sources can be
+integrated flexibly" (§II-A Data Integration). Each adapter turns its
+backend — a tenant table, a search vertical, a SOAP/REST service, the ad
+marketplace — into the same ``search(SourceQuery) -> SourceResult`` shape,
+which is what lets the designer drag any of them onto an application.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError, DuplicateError, NotFoundError
+from repro.searchengine.analysis import Analyzer
+from repro.searchengine.documents import FieldedDocument
+from repro.searchengine.engine import SearchOptions
+from repro.searchengine.index import InvertedIndex
+from repro.searchengine.query import (
+    OrNode,
+    QueryEvaluator,
+    TermNode,
+    extract_terms,
+    parse_query,
+)
+from repro.searchengine.ranking import BM25Parameters, BM25Scorer
+
+__all__ = [
+    "SourceKind",
+    "SourceQuery",
+    "SourceItem",
+    "SourceResult",
+    "DataSource",
+    "ProprietaryTableSource",
+    "WebSearchSource",
+    "ServiceSource",
+    "AdSource",
+    "CustomerProfileSource",
+    "SourceRegistry",
+]
+
+
+class SourceKind(str, Enum):
+    """The categories of content source the palette can show."""
+
+    PROPRIETARY = "proprietary"
+    WEB = "web"
+    IMAGE = "image"
+    VIDEO = "video"
+    NEWS = "news"
+    SERVICE = "service"
+    ADS = "ads"
+    CUSTOMER = "customer"
+
+
+@dataclass(frozen=True)
+class SourceQuery:
+    """What the runtime asks a source."""
+
+    text: str
+    count: int = 10
+    offset: int = 0
+    context: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SourceItem:
+    """One result item in source-neutral shape."""
+
+    item_id: str
+    title: str
+    url: str = ""
+    snippet: str = ""
+    score: float = 0.0
+    fields: dict = field(default_factory=dict)
+
+    def get(self, name: str, default: str = "") -> str:
+        """Field lookup across explicit fields and the common properties."""
+        if name in self.fields:
+            value = self.fields[name]
+            return "" if value is None else str(value)
+        common = {"title": self.title, "url": self.url,
+                  "snippet": self.snippet}
+        return common.get(name, default)
+
+
+@dataclass(frozen=True)
+class SourceResult:
+    source_id: str
+    items: tuple
+    total_matches: int
+    elapsed_ms: float = 0.0
+
+    @staticmethod
+    def empty(source_id: str) -> "SourceResult":
+        return SourceResult(source_id, (), 0, 0.0)
+
+
+class DataSource(ABC):
+    """The contract: identity, bindable fields, and search."""
+
+    def __init__(self, source_id: str, name: str, kind: SourceKind) -> None:
+        self.source_id = source_id
+        self.name = name
+        self.kind = kind
+
+    @abstractmethod
+    def fields(self) -> list[str]:
+        """Field names a designer can bind layout elements to."""
+
+    @abstractmethod
+    def search(self, query: SourceQuery) -> SourceResult:
+        """Execute ``query`` and return ranked items."""
+
+    def describe(self) -> dict:
+        return {
+            "source_id": self.source_id,
+            "name": self.name,
+            "kind": self.kind.value,
+            "fields": self.fields(),
+        }
+
+    def export_config(self) -> dict:
+        """Serializable construction parameters (see core.persistence)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support export"
+        )
+
+
+class ProprietaryTableSource(DataSource):
+    """Searchable proprietary data: a tenant table + a private index.
+
+    ``search_fields`` are the fields queries run against ("search by
+    title, producer, and description" in §II-B); all schema fields remain
+    available for layout binding. The index rebuilds lazily whenever the
+    table's contents change.
+    """
+
+    def __init__(self, source_id: str, name: str, table,
+                 search_fields: tuple) -> None:
+        super().__init__(source_id, name, SourceKind.PROPRIETARY)
+        self._table = table
+        for field_name in search_fields:
+            if not table.schema.has_field(field_name):
+                raise ConfigurationError(
+                    f"search field {field_name!r} is not in table "
+                    f"{table.name!r}"
+                )
+        self.search_fields = tuple(search_fields)
+        self._index: InvertedIndex | None = None
+        self._index_fingerprint: tuple | None = None
+
+    def fields(self) -> list[str]:
+        return self._table.schema.field_names()
+
+    @property
+    def table(self):
+        return self._table
+
+    def _fingerprint(self) -> tuple:
+        return (
+            len(self._table),
+            sum(r.version for r in self._table.all_records()),
+        )
+
+    def _ensure_index(self) -> InvertedIndex:
+        fingerprint = self._fingerprint()
+        if self._index is None or self._index_fingerprint != fingerprint:
+            index = InvertedIndex(Analyzer())
+            for record in self._table.all_records():
+                index.add(FieldedDocument(
+                    doc_id=record.record_id,
+                    fields={
+                        name: "" if value is None else str(value)
+                        for name, value in record.values.items()
+                    },
+                    payload=record,
+                ))
+            self._index = index
+            self._index_fingerprint = fingerprint
+        return self._index
+
+    def export_config(self) -> dict:
+        return {
+            "type": "proprietary",
+            "source_id": self.source_id,
+            "name": self.name,
+            "tenant_id": getattr(self, "tenant_id", ""),
+            "table_name": self._table.name,
+            "search_fields": list(self.search_fields),
+        }
+
+    def structured_search(self, structured_query) -> SourceResult:
+        """Richer querying of structured data (§IV future work item 2).
+
+        Accepts a :class:`repro.core.structured.StructuredQuery`
+        combining text relevance, typed predicates, ordering, paging.
+        """
+        from repro.core.structured import execute_structured
+        return execute_structured(self, structured_query)
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        index = self._ensure_index()
+        search_fields = tuple(
+            query.context.get("search_fields") or self.search_fields
+        )
+        node = parse_query(query.text)
+        evaluator = QueryEvaluator(index, list(search_fields))
+        candidates = evaluator.candidates(node)
+        terms = extract_terms(node, index.analyzer)
+        if not candidates and len(terms) > 1:
+            # Strict AND found nothing; relax to OR so a storefront search
+            # for "halo odyssey deluxe" still surfaces "Halo Odyssey".
+            relaxed = OrNode(tuple(TermNode(t) for t in terms))
+            candidates = evaluator.candidates(relaxed)
+        params = BM25Parameters(
+            field_boosts={name: 2.0 if name == search_fields[0] else 1.0
+                          for name in search_fields}
+        )
+        scorer = BM25Scorer(index, list(search_fields), params)
+        scored = sorted(
+            ((doc_id, scorer.score(doc_id, terms)) for doc_id in candidates),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        window = scored[query.offset:query.offset + query.count]
+        items = []
+        for doc_id, score in window:
+            record = index.document(doc_id).payload
+            url = next(
+                (str(record.values[name])
+                 for name in ("url", "detail_url", "link", "homepage")
+                 if record.values.get(name)),
+                "",
+            )
+            items.append(SourceItem(
+                item_id=doc_id,
+                title=str(record.values.get(self.fields()[0], doc_id)),
+                url=url,
+                snippet="",
+                score=round(score, 6),
+                fields=dict(record.values),
+            ))
+        return SourceResult(self.source_id, tuple(items), len(scored))
+
+
+class WebSearchSource(DataSource):
+    """A search-engine vertical with per-source configuration (§II-A)."""
+
+    _KIND_BY_VERTICAL = {
+        "web": SourceKind.WEB,
+        "image": SourceKind.IMAGE,
+        "video": SourceKind.VIDEO,
+        "news": SourceKind.NEWS,
+    }
+
+    def __init__(self, source_id: str, name: str, engine,
+                 vertical: str = "web", sites: tuple = (),
+                 augment_terms: tuple = (),
+                 freshness_days: int | None = None) -> None:
+        kind = self._KIND_BY_VERTICAL.get(vertical)
+        if kind is None:
+            raise ConfigurationError(f"unknown vertical {vertical!r}")
+        super().__init__(source_id, name, kind)
+        self._engine = engine
+        self.vertical = vertical
+        self.sites = tuple(sites)
+        self.augment_terms = tuple(augment_terms)
+        self.freshness_days = freshness_days
+
+    def fields(self) -> list[str]:
+        return ["title", "url", "snippet", "site"]
+
+    def export_config(self) -> dict:
+        return {
+            "type": "web",
+            "source_id": self.source_id,
+            "name": self.name,
+            "vertical": self.vertical,
+            "sites": list(self.sites),
+            "augment_terms": list(self.augment_terms),
+            "freshness_days": self.freshness_days,
+        }
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        options = SearchOptions(
+            count=query.count,
+            offset=query.offset,
+            sites=self.sites,
+            augment_terms=self.augment_terms,
+            freshness_days=self.freshness_days,
+        )
+        response = self._engine.search(
+            self.vertical, query.text, options,
+            app_id=query.context.get("app_id"),
+            session_id=query.context.get("session_id"),
+        )
+        items = tuple(
+            SourceItem(
+                item_id=result.url,
+                title=result.title,
+                url=result.url,
+                snippet=result.snippet,
+                score=result.score,
+                fields={"site": result.site, **result.fields},
+            )
+            for result in response.results
+        )
+        return SourceResult(
+            self.source_id, items, response.total_matches,
+            response.elapsed_ms,
+        )
+
+
+class ServiceSource(DataSource):
+    """Dynamic data through a SOAP or REST service on the bus.
+
+    ``operation`` is the bus operation (``"GET /prices/{sku}"`` or a SOAP
+    operation name); the query text is passed as ``query_param``. Dict
+    responses become one item; a list (or a dict with a single list value
+    such as GetReviews' ``reviews``) becomes one item per element.
+    """
+
+    def __init__(self, source_id: str, name: str, bus, service_name: str,
+                 operation: str, query_param: str,
+                 item_fields: tuple = (), title_field: str = "",
+                 extra_params: dict | None = None) -> None:
+        super().__init__(source_id, name, SourceKind.SERVICE)
+        self._bus = bus
+        self.service_name = service_name
+        self.operation = operation
+        self.query_param = query_param
+        self.item_fields = tuple(item_fields)
+        self.title_field = title_field
+        self.extra_params = dict(extra_params or {})
+
+    def fields(self) -> list[str]:
+        return list(self.item_fields) if self.item_fields else ["value"]
+
+    def export_config(self) -> dict:
+        return {
+            "type": "service",
+            "source_id": self.source_id,
+            "name": self.name,
+            "service_name": self.service_name,
+            "operation": self.operation,
+            "query_param": self.query_param,
+            "item_fields": list(self.item_fields),
+            "title_field": self.title_field,
+            "extra_params": dict(self.extra_params),
+        }
+
+    def _build_operation(self, text: str) -> tuple[str, dict]:
+        params = dict(self.extra_params)
+        placeholder = "{" + self.query_param + "}"
+        if placeholder in self.operation:
+            return self.operation.replace(placeholder, text), params
+        params[self.query_param] = text
+        return self.operation, params
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        operation, params = self._build_operation(query.text)
+        response = self._bus.invoke(self.service_name, operation, params)
+        rows = self._rows_from_response(response)
+        items = []
+        for i, row in enumerate(rows[:query.count]):
+            title = str(row.get(self.title_field, "")) if self.title_field \
+                else str(next(iter(row.values()), ""))
+            items.append(SourceItem(
+                item_id=f"{self.source_id}:{i}",
+                title=title,
+                url=str(row.get("url", "")),
+                snippet=str(row.get("excerpt", row.get("description", ""))),
+                score=float(len(rows) - i),
+                fields=dict(row),
+            ))
+        return SourceResult(self.source_id, tuple(items), len(rows))
+
+    @staticmethod
+    def _rows_from_response(response) -> list[dict]:
+        if isinstance(response, list):
+            return [row if isinstance(row, dict) else {"value": row}
+                    for row in response]
+        if isinstance(response, dict):
+            list_values = [v for v in response.values()
+                           if isinstance(v, list)]
+            if len(list_values) == 1 and all(
+                isinstance(row, dict) for row in list_values[0]
+            ):
+                return list(list_values[0])
+            return [response]
+        return [{"value": response}]
+
+
+class AdSource(DataSource):
+    """Ads as a content source, configured like any other (§II-A)."""
+
+    def __init__(self, source_id: str, name: str, ad_service,
+                 max_ads: int = 2) -> None:
+        super().__init__(source_id, name, SourceKind.ADS)
+        self._ads = ad_service
+        self.max_ads = max_ads
+
+    def fields(self) -> list[str]:
+        return ["headline", "url", "body", "ad_id", "price_per_click"]
+
+    def export_config(self) -> dict:
+        return {
+            "type": "ads",
+            "source_id": self.source_id,
+            "name": self.name,
+            "max_ads": self.max_ads,
+        }
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        selected = self._ads.select_ads(
+            query.text,
+            app_id=query.context.get("app_id", ""),
+            count=min(query.count, self.max_ads),
+            now_ms=int(query.context.get("now_ms", 0)),
+        )
+        items = tuple(
+            SourceItem(
+                item_id=ad.ad_id,
+                title=ad.headline,
+                url=ad.url,
+                snippet=ad.body,
+                score=float(len(selected) - i),
+                fields={
+                    "headline": ad.headline, "body": ad.body,
+                    "ad_id": ad.ad_id,
+                    "price_per_click": ad.price_per_click,
+                    "is_ad": True,
+                },
+            )
+            for i, ad in enumerate(selected)
+        )
+        return SourceResult(self.source_id, items, len(items))
+
+
+class CustomerProfileSource(DataSource):
+    """Customer data that *alters the query* rather than adding results.
+
+    §II-C: "customer data could also be included to alter the query to,
+    say, prefer some types of games over others." Profiles map a customer
+    id to preference terms; the runtime calls :meth:`rewrite` on the
+    primary query when this source is bound to the application.
+    """
+
+    def __init__(self, source_id: str, name: str) -> None:
+        super().__init__(source_id, name, SourceKind.CUSTOMER)
+        self._profiles: dict[str, tuple] = {}
+
+    def fields(self) -> list[str]:
+        return ["customer_id", "preference_terms"]
+
+    def export_config(self) -> dict:
+        return {
+            "type": "customer",
+            "source_id": self.source_id,
+            "name": self.name,
+            "profiles": {cid: list(terms)
+                         for cid, terms in self._profiles.items()},
+        }
+
+    def set_profile(self, customer_id: str, preference_terms) -> None:
+        self._profiles[customer_id] = tuple(preference_terms)
+
+    def profile(self, customer_id: str) -> tuple:
+        return self._profiles.get(customer_id, ())
+
+    def rewrite(self, query_text: str, customer_id: str | None) -> str:
+        """Append preference terms as optional (OR'd) boosts."""
+        if not customer_id:
+            return query_text
+        terms = self.profile(customer_id)
+        if not terms:
+            return query_text
+        preference = " OR ".join(terms)
+        return f"({query_text}) OR ({query_text} AND ({preference}))"
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        # Customer data is not a display source; searching it yields the
+        # matching profile (useful for designer previews and tests).
+        customer_id = query.text.strip()
+        terms = self.profile(customer_id)
+        if not terms:
+            return SourceResult.empty(self.source_id)
+        item = SourceItem(
+            item_id=customer_id,
+            title=customer_id,
+            fields={"customer_id": customer_id,
+                    "preference_terms": ", ".join(terms)},
+        )
+        return SourceResult(self.source_id, (item,), 1)
+
+
+class SourceRegistry:
+    """All data sources known to one platform instance, by id."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, DataSource] = {}
+
+    def add(self, source: DataSource) -> DataSource:
+        if source.source_id in self._sources:
+            raise DuplicateError(
+                f"source id already registered: {source.source_id}"
+            )
+        self._sources[source.source_id] = source
+        return source
+
+    def get(self, source_id: str) -> DataSource:
+        try:
+            return self._sources[source_id]
+        except KeyError:
+            raise NotFoundError(
+                f"no data source {source_id!r}"
+            ) from None
+
+    def remove(self, source_id: str) -> None:
+        if source_id not in self._sources:
+            raise NotFoundError(f"no data source {source_id!r}")
+        del self._sources[source_id]
+
+    def ids(self) -> list[str]:
+        return sorted(self._sources)
+
+    def by_kind(self, kind: SourceKind) -> list[DataSource]:
+        return [s for s in self._sources.values() if s.kind == kind]

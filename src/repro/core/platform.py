@@ -1,0 +1,423 @@
+"""The Symphony facade: everything §II describes, behind one object.
+
+:class:`Symphony` wires the substrates together — synthetic web, search
+engine, tenant storage, ingestion, service bus, ads — and exposes the
+designer-facing workflow: register, upload proprietary data, create data
+sources, design an application, host it, publish it, execute queries, and
+pull monetization reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capability import CapabilityProfile
+from repro.core.datasources import (
+    AdSource,
+    CustomerProfileSource,
+    ProprietaryTableSource,
+    ServiceSource,
+    SourceRegistry,
+    WebSearchSource,
+)
+from repro.core.designer import Designer, DesignSession
+from repro.core.distribution import (
+    HostingRouter,
+    Publisher,
+    SocialPlatform,
+)
+from repro.core.monetization import (
+    InteractionRecorder,
+    ReferralReport,
+    TrafficSummary,
+)
+from repro.core.presentation import HtmlRenderer, ThemeRegistry
+from repro.core.runtime import (
+    ApplicationRegistry,
+    ApplicationResponse,
+    QueryRequest,
+    SymphonyRuntime,
+)
+from repro.ingest.crawler import Crawler, CrawlPolicy
+from repro.ingest.pipeline import DatasetIngestor, IngestReport
+from repro.ingest.rss import FeedPublisher
+from repro.ingest.transports import FtpServer, HttpUploadChannel
+from repro.searchengine.engine import build_engine
+from repro.services.ads import AdService
+from repro.services.bus import ServiceBus
+from repro.simweb.generator import WebGenerator, WebSpec
+from repro.sitesuggest import SiteCooccurrenceGraph, SiteSuggest
+from repro.storage.tenant import StorageCatalog, Tenant
+from repro.storage.tokens import Scope
+from repro.util import IdGenerator, SimClock
+
+__all__ = ["DesignerAccount", "Symphony"]
+
+
+@dataclass(frozen=True)
+class DesignerAccount:
+    """A registered application designer: identity + private space."""
+
+    designer_id: str
+    display_name: str
+    tenant: Tenant
+    token: str
+
+
+class Symphony:
+    """The platform. One instance is one deployment.
+
+    Constructing a Symphony builds (or accepts) a synthetic web, indexes it
+    into the search-engine substrate, and stands up storage, services,
+    ads, designer tooling, runtime, distribution, and monetization.
+    """
+
+    def __init__(self, web=None, web_spec: WebSpec | None = None,
+                 clock: SimClock | None = None,
+                 cache_enabled: bool = True,
+                 use_authority: bool = True) -> None:
+        self.clock = clock or SimClock()
+        self.web = web if web is not None else WebGenerator(
+            web_spec or WebSpec()
+        ).build()
+        self.engine = build_engine(
+            self.web, clock=self.clock, use_authority=use_authority
+        )
+        self.ids = IdGenerator()
+        self.catalog = StorageCatalog(ids=self.ids)
+        self.bus = ServiceBus(clock=self.clock)
+        self.ads = AdService(ids=self.ids)
+        self.bus.register(self.ads)
+        self.themes = ThemeRegistry()
+        self.sources = SourceRegistry()
+        self.apps = ApplicationRegistry()
+        self.renderer = HtmlRenderer(self.themes)
+        self.runtime = SymphonyRuntime(
+            registry=self.sources,
+            apps=self.apps,
+            renderer=self.renderer,
+            clock=self.clock,
+            log=self.engine.log,
+            cache_enabled=cache_enabled,
+        )
+        self.publisher = Publisher()
+        self.publisher.register_platform(SocialPlatform("facebook"))
+        self.router = HostingRouter()
+        self.recorder = InteractionRecorder(
+            self.engine.log, self.clock, ad_service=self.ads
+        )
+        self.http_uploads = HttpUploadChannel(clock=self.clock)
+        self.ftp = FtpServer(clock=self.clock)
+        self.feeds = FeedPublisher(self.web)
+        from repro.core.frontend import HostingFrontend
+        self.frontend = HostingFrontend(self.router, self.runtime)
+        self._designers: dict[str, DesignerAccount] = {}
+
+    # -- accounts ------------------------------------------------------------
+
+    def register_designer(self, display_name: str) -> DesignerAccount:
+        tenant = self.catalog.create_tenant(display_name)
+        token = self.catalog.authority.mint(
+            tenant.tenant_id, scopes=(Scope.ADMIN,)
+        )
+        account = DesignerAccount(
+            designer_id=self.ids.next_id("designer"),
+            display_name=display_name,
+            tenant=tenant,
+            token=token.value,
+        )
+        self._designers[account.designer_id] = account
+        return account
+
+    def designer_account(self, designer_id: str) -> DesignerAccount:
+        return self._designers[designer_id]
+
+    # -- proprietary data (§II-A Proprietary Data) ------------------------------
+
+    def _authorized_tenant(self, account: DesignerAccount) -> Tenant:
+        return self.catalog.open(
+            account.token, account.tenant.tenant_id, Scope.WRITE
+        )
+
+    def upload_http(self, account: DesignerAccount, filename: str,
+                    data: bytes, table_name: str,
+                    content_type: str = "text/plain",
+                    **ingest_options) -> IngestReport:
+        tenant = self._authorized_tenant(account)
+        payload = self.http_uploads.post_file(filename, data, content_type)
+        return DatasetIngestor(tenant).ingest(
+            payload, table_name, **ingest_options
+        )
+
+    def upload_ftp(self, account: DesignerAccount, path: str,
+                   table_name: str, content_type: str = "text/plain",
+                   **ingest_options) -> IngestReport:
+        tenant = self._authorized_tenant(account)
+        payload = self.ftp.retrieve(path, content_type)
+        return DatasetIngestor(tenant).ingest(
+            payload, table_name, **ingest_options
+        )
+
+    def ingest_rss_feed(self, account: DesignerAccount, domain: str,
+                        table_name: str, **ingest_options) -> IngestReport:
+        tenant = self._authorized_tenant(account)
+        payload = self.http_uploads.post_file(
+            f"{domain}.rss", self.feeds.feed_xml(domain),
+            "application/rss+xml",
+        )
+        return DatasetIngestor(tenant).ingest(
+            payload, table_name, **ingest_options
+        )
+
+    def crawl_into(self, account: DesignerAccount, seeds, table_name: str,
+                   policy: CrawlPolicy | None = None) -> IngestReport:
+        tenant = self._authorized_tenant(account)
+        result = Crawler(self.web, clock=self.clock).crawl(seeds, policy)
+        return DatasetIngestor(tenant).ingest_rows(
+            result.rows(), table_name
+        )
+
+    # -- data sources (§II-A Built-in Services / Data Integration) ----------------
+
+    def add_proprietary_source(self, account: DesignerAccount,
+                               table_name: str, search_fields,
+                               name: str = "") -> ProprietaryTableSource:
+        tenant = self.catalog.open(
+            account.token, account.tenant.tenant_id, Scope.READ
+        )
+        source = ProprietaryTableSource(
+            source_id=self.ids.next_id("source"),
+            name=name or f"{account.display_name}'s {table_name}",
+            table=tenant.table(table_name),
+            search_fields=tuple(search_fields),
+        )
+        source.tenant_id = tenant.tenant_id  # for export/import
+        return self.sources.add(source)
+
+    def add_web_source(self, name: str, vertical: str = "web",
+                       sites=(), augment_terms=(),
+                       freshness_days: int | None = None
+                       ) -> WebSearchSource:
+        source = WebSearchSource(
+            source_id=self.ids.next_id("source"),
+            name=name,
+            engine=self.engine,
+            vertical=vertical,
+            sites=tuple(sites),
+            augment_terms=tuple(augment_terms),
+            freshness_days=freshness_days,
+        )
+        return self.sources.add(source)
+
+    def add_service_source(self, name: str, service_name: str,
+                           operation: str, query_param: str,
+                           item_fields=(), title_field: str = "",
+                           extra_params: dict | None = None
+                           ) -> ServiceSource:
+        source = ServiceSource(
+            source_id=self.ids.next_id("source"),
+            name=name,
+            bus=self.bus,
+            service_name=service_name,
+            operation=operation,
+            query_param=query_param,
+            item_fields=tuple(item_fields),
+            title_field=title_field,
+            extra_params=extra_params,
+        )
+        return self.sources.add(source)
+
+    def add_ad_source(self, name: str = "Ads",
+                      max_ads: int = 2) -> AdSource:
+        source = AdSource(
+            source_id=self.ids.next_id("source"),
+            name=name,
+            ad_service=self.ads,
+            max_ads=max_ads,
+        )
+        return self.sources.add(source)
+
+    def add_customer_source(self, name: str = "Customer data"
+                            ) -> CustomerProfileSource:
+        source = CustomerProfileSource(
+            source_id=self.ids.next_id("source"),
+            name=name,
+        )
+        return self.sources.add(source)
+
+    # -- design & hosting ------------------------------------------------------------
+
+    def designer(self) -> Designer:
+        return Designer(self.sources, self.themes, self.ids)
+
+    def preview(self, session, query_text: str):
+        """Live WYSIWYG preview of an unhosted design session."""
+        from repro.core.preview import preview_session
+        return preview_session(
+            session, self.sources, self.renderer, self.clock,
+            query_text,
+        )
+
+    def host(self, session_or_app) -> str:
+        """Build (if needed) and host an application; returns its id."""
+        app = (session_or_app.build()
+               if isinstance(session_or_app, DesignSession)
+               else session_or_app)
+        self.apps.register(app)
+        self.router.mount(app)
+        return app.app_id
+
+    def publish_embed(self, app_id: str, page_url: str):
+        app = self.apps.get(app_id)
+        snippet = self.publisher.embed_on_site(app, page_url)
+        self.router.mount(app, embed_key=snippet.embed_key)
+        return snippet
+
+    def publish_social(self, app_id: str, platform_name: str = "facebook"):
+        app = self.apps.get(app_id)
+        return self.publisher.publish_to_platform(app, platform_name)
+
+    # -- execution (§II-C) ----------------------------------------------------------
+
+    def query(self, app_id: str, query_text: str, session_id: str = "",
+              customer_id: str = "", page: int = 0
+              ) -> ApplicationResponse:
+        return self.runtime.handle_query(QueryRequest(
+            app_id=app_id,
+            query_text=query_text,
+            session_id=session_id,
+            customer_id=customer_id,
+            page=page,
+        ))
+
+    # -- monetization (§II-A Monetization) --------------------------------------------
+
+    def record_click(self, app_id: str, query: str, url: str,
+                     session_id: str = "", ad_id: str = "") -> dict:
+        return self.recorder.record_click(
+            app_id, query, url, session_id=session_id, ad_id=ad_id
+        )
+
+    def traffic_summary(self, app_id: str) -> TrafficSummary:
+        return self.recorder.summarize(app_id)
+
+    def referral_report(self, app_id: str,
+                        rate_per_click: float = 0.05) -> ReferralReport:
+        return ReferralReport(
+            self.traffic_summary(app_id), rate_per_click
+        )
+
+    def designer_ad_earnings(self, app_id: str) -> float:
+        return self.ads.designer_earnings(app_id)
+
+    def enable_social_search(self, vote_weight: float = 0.5):
+        """Attach community voting to the runtime (§IV future work 3).
+
+        Returns the :class:`~repro.analytics.social.CommunityFeedback`
+        store; use :meth:`vote` to record end-user feedback.
+        """
+        from repro.analytics.social import CommunityFeedback
+        feedback = CommunityFeedback(vote_weight=vote_weight)
+        self.runtime.community_feedback = feedback
+        return feedback
+
+    def vote(self, app_id: str, url: str, up: bool = True):
+        """Record a community vote on a result URL of an application."""
+        feedback = self.runtime.community_feedback
+        if feedback is None:
+            feedback = self.enable_social_search()
+        if up:
+            return feedback.vote_up(app_id, url)
+        return feedback.vote_down(app_id, url)
+
+    def recommend_supplemental(self, account: DesignerAccount,
+                               table_name: str, probe_field: str,
+                               count: int = 5, probe_suffix: str = ""
+                               ) -> list:
+        """Recommend supplemental sites for a table (§IV future work 1)."""
+        from repro.analytics.recommend import SupplementalRecommender
+        tenant = self.catalog.open(
+            account.token, account.tenant.tenant_id, Scope.READ
+        )
+        recommender = SupplementalRecommender(self.engine)
+        return recommender.recommend(
+            tenant.table(table_name), probe_field, count=count,
+            probe_suffix=probe_suffix,
+        )
+
+    def autocomplete(self, prefix: str, app_id: str | None = None,
+                     count: int = 5) -> list:
+        """Query completions mined from the (per-app) query log.
+
+        The completion index is rebuilt lazily whenever new queries have
+        been logged since the last call.
+        """
+        from repro.searchengine.autocomplete import AutocompleteIndex
+        cache_key = (app_id, len(self.engine.log.queries))
+        cached = getattr(self, "_autocomplete_cache", None)
+        if cached is None or cached[0] != cache_key:
+            index = AutocompleteIndex.from_query_log(
+                self.engine.log, app_id=app_id
+            )
+            self._autocomplete_cache = (cache_key, index)
+        return self._autocomplete_cache[1].complete(prefix, count)
+
+    # -- Site Suggest (§II-A Built-in Services) ------------------------------------------
+
+    def site_suggest(self, seeds, count: int = 5,
+                     method: str = "random_walk",
+                     blend_links: bool = True) -> list:
+        graph = SiteCooccurrenceGraph.from_query_log(self.engine.log)
+        if blend_links:
+            graph.blend_link_graph(self.web.domain_link_graph())
+        return SiteSuggest(graph).suggest(seeds, count=count, method=method)
+
+    # -- Table I capability probes -------------------------------------------------------
+
+    def search_api_name(self) -> str:
+        return "Bing (local substrate)"
+
+    def supports_custom_sites(self) -> bool:
+        return True
+
+    def upload_structured_data(self, account: DesignerAccount,
+                               rows: list[dict],
+                               table_name: str) -> IngestReport:
+        """Structured-data probe: Symphony supports various uploads."""
+        tenant = self._authorized_tenant(account)
+        return DatasetIngestor(tenant).ingest_rows(rows, table_name)
+
+    def monetization_policy(self) -> dict:
+        return {
+            "ads_mandatory": False,
+            "revenue_share": self.ads.designer_share,
+            "own_ads_allowed": True,
+        }
+
+    def ui_customization(self) -> dict:
+        return {
+            "mode": "drag-n-drop",
+            "coding_required": False,
+            "templates": self.themes.names(),
+            "stylesheets": True,
+        }
+
+    def deployment_options(self) -> list[str]:
+        return ["hosted", "third-party-embed", "facebook"]
+
+    def capability_profile(self) -> CapabilityProfile:
+        return CapabilityProfile(
+            system="Symphony",
+            search_api=self.search_api_name(),
+            custom_sites="Supported",
+            proprietary_structured_data=(
+                "Supports various uploads (HTTP or FTP, RSS, workbook, "
+                "txt, xml)"
+            ),
+            monetization="Ads voluntary (revenue-sharing)",
+            custom_ui="Drag'n'drop",
+            deployment=(
+                "Hosted at server, published to 3rd-party sites, or "
+                "Facebook"
+            ),
+        )

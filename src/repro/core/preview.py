@@ -1,0 +1,72 @@
+"""Designer live preview.
+
+The WYSIWYG tool in Fig. 1 shows results while the designer is still
+arranging the canvas. :func:`preview_session` compiles the in-progress
+design session into a throwaway application, executes one sample query
+through a private runtime (never touching the hosted registry, logs, or
+cache), and returns the rendered HTML with the pipeline trace and any
+design-time warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runtime import (
+    ApplicationRegistry,
+    QueryRequest,
+    SymphonyRuntime,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["PreviewResult", "preview_session"]
+
+
+@dataclass(frozen=True)
+class PreviewResult:
+    html: str
+    trace: object
+    issues: tuple      # design issues at preview time
+    query_text: str
+
+    @property
+    def ok(self) -> bool:
+        return not any(i.severity == "error" for i in self.issues)
+
+
+def preview_session(session, registry, renderer, clock,
+                    query_text: str) -> PreviewResult:
+    """Render a live preview of ``session`` for ``query_text``.
+
+    Raises :class:`ConfigurationError` only for designs that cannot even
+    compile; softer problems come back as ``issues``.
+    """
+    issues = tuple(session.validate())
+    if any(i.severity == "error" for i in issues):
+        raise ConfigurationError(
+            "cannot preview: "
+            + "; ".join(i.message for i in issues
+                        if i.severity == "error")
+        )
+    app = session.build()
+    apps = ApplicationRegistry()
+    apps.register(app)
+    runtime = SymphonyRuntime(
+        registry=registry,
+        apps=apps,
+        renderer=renderer,
+        clock=clock,
+        log=None,             # previews must not pollute usage logs
+        cache_enabled=False,  # designers want live data while tweaking
+    )
+    response = runtime.handle_query(QueryRequest(
+        app_id=app.app_id,
+        query_text=query_text,
+        session_id="designer-preview",
+    ))
+    return PreviewResult(
+        html=response.html,
+        trace=response.trace,
+        issues=issues,
+        query_text=query_text,
+    )

@@ -1,0 +1,688 @@
+"""Query execution: Fig. 2 as code.
+
+A customer query arrives from the embedded JavaScript shim, is processed by
+the primary content source(s) (optionally rewritten using customer data),
+fans out to supplemental sources driven by fields of each primary result,
+merges with ads, renders to HTML per the configured layout, and returns to
+the shim for injection into the host page. Every stage is timed into a
+:class:`PipelineTrace`, supplemental failures are isolated into warnings,
+and a per-(source, query) cache with TTL flattens repeat-query cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace as dataclass_replace
+
+from repro.core.application import SourceRole
+from repro.core.datasources import (
+    CustomerProfileSource,
+    SourceQuery,
+    SourceResult,
+)
+from repro.core.presentation import HtmlRenderer
+from repro.errors import NotFoundError, QuotaExceededError, ReproError
+from repro.searchengine.logs import QueryEvent
+from repro.util import SimClock
+
+__all__ = [
+    "QueryRequest",
+    "StageTiming",
+    "PipelineTrace",
+    "PrimaryResultView",
+    "ApplicationResponse",
+    "ResultCache",
+    "ApplicationRegistry",
+    "SymphonyRuntime",
+]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """What the JS shim forwards to Symphony."""
+
+    app_id: str
+    query_text: str
+    session_id: str = ""
+    customer_id: str = ""
+    page: int = 0
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    name: str
+    elapsed_ms: float
+    detail: str = ""
+
+
+@dataclass
+class PipelineTrace:
+    """Per-stage timings and warnings for one executed query."""
+
+    stages: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add_stage(self, name: str, elapsed_ms: float,
+                  detail: str = "") -> None:
+        self.stages.append(StageTiming(name, round(elapsed_ms, 3), detail))
+
+    def stage(self, name: str) -> StageTiming:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise NotFoundError(f"no stage {name!r} in trace")
+
+    def total_ms(self) -> float:
+        return round(sum(s.elapsed_ms for s in self.stages), 3)
+
+    def describe(self) -> str:
+        lines = ["Pipeline trace:"]
+        for stage in self.stages:
+            detail = f"  ({stage.detail})" if stage.detail else ""
+            lines.append(
+                f"  {stage.name:<22} {stage.elapsed_ms:>9.3f} ms{detail}"
+            )
+        lines.append(f"  {'TOTAL':<22} {self.total_ms():>9.3f} ms")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PrimaryResultView:
+    """One primary item plus its per-binding supplemental results."""
+
+    slot_binding_id: str
+    item: object                      # SourceItem
+    supplemental: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ApplicationResponse:
+    """What goes back to the embedded JavaScript."""
+
+    app_id: str
+    query_text: str
+    html: str
+    views: tuple
+    ads: tuple
+    trace: PipelineTrace
+
+
+class ResultCache:
+    """LRU cache of :class:`SourceResult` keyed by (source, query, count).
+
+    TTL is judged against the simulated clock so tests can age entries
+    deterministically.
+    """
+
+    def __init__(self, max_entries: int = 512,
+                 ttl_ms: int = 5 * 60 * 1000) -> None:
+        self.max_entries = max_entries
+        self.ttl_ms = ttl_ms
+        self._entries: OrderedDict = OrderedDict()
+
+    def _prune(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, key, now_ms: int):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        stored_ms, value = entry
+        if now_ms - stored_ms > self.ttl_ms:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value, now_ms: int) -> None:
+        self._entries[key] = (now_ms, value)
+        self._entries.move_to_end(key)
+        self._prune()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CircuitBreaker:
+    """Per-source circuit breaker for the supplemental fan-out.
+
+    A source that keeps failing should stop being called on every
+    query — each attempt costs latency the end user feels. After
+    ``failure_threshold`` consecutive failures the circuit opens and
+    calls are skipped (with a trace warning) until ``cooldown_ms`` of
+    simulated time has passed; the next call then probes the source
+    (half-open) and either closes the circuit or re-opens it.
+    """
+
+    def __init__(self, clock, failure_threshold: int = 3,
+                 cooldown_ms: int = 60_000) -> None:
+        if failure_threshold <= 0 or cooldown_ms <= 0:
+            raise ValueError(
+                "circuit breaker parameters must be positive"
+            )
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._consecutive_failures: dict[str, int] = {}
+        self._opened_at_ms: dict[str, int] = {}
+
+    def is_open(self, source_id: str) -> bool:
+        opened_at = self._opened_at_ms.get(source_id)
+        if opened_at is None:
+            return False
+        if self._clock.now_ms - opened_at >= self.cooldown_ms:
+            # Half-open: allow one probe call through.
+            del self._opened_at_ms[source_id]
+            self._consecutive_failures[source_id] = \
+                self.failure_threshold - 1
+            return False
+        return True
+
+    def record_failure(self, source_id: str) -> None:
+        count = self._consecutive_failures.get(source_id, 0) + 1
+        self._consecutive_failures[source_id] = count
+        if count >= self.failure_threshold:
+            self._opened_at_ms[source_id] = self._clock.now_ms
+
+    def record_success(self, source_id: str) -> None:
+        self._consecutive_failures.pop(source_id, None)
+        self._opened_at_ms.pop(source_id, None)
+
+    def state(self, source_id: str) -> str:
+        if source_id in self._opened_at_ms:
+            return "open"
+        if self._consecutive_failures.get(source_id, 0) > 0:
+            return "degraded"
+        return "closed"
+
+
+class RateLimiter:
+    """Sliding-window per-application request limiter.
+
+    Hosting shoulders every application's execution cost (§II-A
+    Hosting), so a runaway embed must not starve the platform. Judged
+    against the simulated clock; disabled unless attached to a runtime.
+    """
+
+    def __init__(self, clock, max_requests: int = 600,
+                 window_ms: int = 60_000) -> None:
+        if max_requests <= 0 or window_ms <= 0:
+            raise ValueError("rate limit parameters must be positive")
+        self._clock = clock
+        self.max_requests = max_requests
+        self.window_ms = window_ms
+        self._events: dict[str, list] = {}
+
+    def check(self, app_id: str) -> None:
+        """Record one request; raise when the app exceeds its window."""
+        now = self._clock.now_ms
+        horizon = now - self.window_ms
+        events = self._events.setdefault(app_id, [])
+        while events and events[0] <= horizon:
+            events.pop(0)
+        if len(events) >= self.max_requests:
+            raise QuotaExceededError(
+                f"application {app_id} exceeded "
+                f"{self.max_requests} requests per "
+                f"{self.window_ms} ms"
+            )
+        events.append(now)
+
+    def remaining(self, app_id: str) -> int:
+        now = self._clock.now_ms
+        horizon = now - self.window_ms
+        events = [t for t in self._events.get(app_id, ())
+                  if t > horizon]
+        return max(0, self.max_requests - len(events))
+
+
+class ApplicationRegistry:
+    """Hosted applications by id (the paper's Hosting capability).
+
+    Re-registering an id updates the deployed application in place and
+    appends the previous definition to its version history, so a
+    designer can inspect (or restore) earlier revisions.
+    """
+
+    def __init__(self) -> None:
+        self._apps: dict[str, object] = {}
+        self._history: dict[str, list] = {}
+
+    def register(self, app) -> None:
+        app.validate()
+        previous = self._apps.get(app.app_id)
+        if previous is not None and previous != app:
+            self._history.setdefault(app.app_id, []).append(previous)
+        self._apps[app.app_id] = app
+
+    def get(self, app_id: str):
+        try:
+            return self._apps[app_id]
+        except KeyError:
+            raise NotFoundError(
+                f"no application hosted under id {app_id!r}"
+            ) from None
+
+    def version(self, app_id: str) -> int:
+        """1-based revision number of the current definition."""
+        self.get(app_id)
+        return len(self._history.get(app_id, ())) + 1
+
+    def history(self, app_id: str) -> list:
+        """Previous definitions, oldest first (excludes the current)."""
+        self.get(app_id)
+        return list(self._history.get(app_id, ()))
+
+    def rollback(self, app_id: str):
+        """Restore the previous revision; returns the now-current app."""
+        revisions = self._history.get(app_id)
+        if not revisions:
+            raise NotFoundError(
+                f"application {app_id!r} has no previous revision"
+            )
+        previous = revisions.pop()
+        self._apps[app_id] = previous
+        return previous
+
+    def unregister(self, app_id: str) -> None:
+        if app_id not in self._apps:
+            raise NotFoundError(f"no application {app_id!r}")
+        del self._apps[app_id]
+        self._history.pop(app_id, None)
+
+    def ids(self) -> list[str]:
+        return sorted(self._apps)
+
+
+class SymphonyRuntime:
+    """Executes hosted applications (Fig. 2)."""
+
+    _SHIM_FORWARD_MS = 8.0    # browser -> Symphony
+    _RESPOND_MS = 6.0         # Symphony -> browser inject
+    _DISPATCH_MS = 2.0        # runtime overhead per live source call
+
+    def __init__(self, registry, apps: ApplicationRegistry,
+                 renderer: HtmlRenderer | None = None,
+                 clock: SimClock | None = None,
+                 log=None,
+                 cache: ResultCache | None = None,
+                 cache_enabled: bool = True,
+                 supplemental_mode: str = "per_result",
+                 rate_limiter: "RateLimiter | None" = None,
+                 circuit_breaker: "CircuitBreaker | None" = None,
+                 community_feedback=None) -> None:
+        if supplemental_mode not in ("per_result", "batched"):
+            raise ValueError(
+                f"unknown supplemental mode {supplemental_mode!r}"
+            )
+        self._registry = registry
+        self._apps = apps
+        self._renderer = renderer or HtmlRenderer()
+        self.clock = clock or SimClock()
+        self._log = log
+        self.cache = cache or ResultCache()
+        self.cache_enabled = cache_enabled
+        # DESIGN.md §6 ablation: derive one focused query per primary
+        # result (the paper's flow) vs one disjunctive query per
+        # supplemental binding, fanned back out to the results.
+        self.supplemental_mode = supplemental_mode
+        self.rate_limiter = rate_limiter
+        self.circuit_breaker = circuit_breaker or CircuitBreaker(
+            self.clock
+        )
+        # Social search (future work item 3): when attached, community
+        # votes re-rank each application's primary results.
+        self.community_feedback = community_feedback
+
+    # -- entry point ----------------------------------------------------------
+
+    def handle_query(self, request: QueryRequest) -> ApplicationResponse:
+        trace = PipelineTrace()
+        app = self._apps.get(request.app_id)
+        if self.rate_limiter is not None:
+            self.rate_limiter.check(app.app_id)
+
+        # Stage: JS shim forwards the query to Symphony.
+        self.clock.advance(self._SHIM_FORWARD_MS)
+        trace.add_stage("receive", self._SHIM_FORWARD_MS,
+                        f"query {request.query_text!r} from "
+                        f"app {app.app_id}")
+
+        query_text = self._rewrite_with_customer_data(
+            app, request, trace
+        )
+
+        views, ads = self._execute_sources(app, request, query_text, trace)
+
+        # Stage: merge + format to HTML.
+        start_ms = self.clock.now_ms
+        html = self._renderer.render_app(app, views, ads)
+        self.clock.advance(1.0 + 0.02 * len(html) / 100.0)
+        trace.add_stage(
+            "merge+render", self.clock.now_ms - start_ms,
+            f"{len(views)} primary views, {len(ads)} ads, "
+            f"{len(html)} bytes",
+        )
+
+        # Stage: respond to the shim, which injects into the page.
+        self.clock.advance(self._RESPOND_MS)
+        trace.add_stage("respond", self._RESPOND_MS, "HTML to JS shim")
+
+        if self._log is not None:
+            self._log.log_query(QueryEvent(
+                timestamp_ms=self.clock.now_ms,
+                query=request.query_text,
+                vertical="app",
+                app_id=app.app_id,
+                session_id=request.session_id or None,
+                result_urls=tuple(
+                    view.item.url for view in views if view.item.url
+                ),
+            ))
+        return ApplicationResponse(
+            app_id=app.app_id,
+            query_text=request.query_text,
+            html=html,
+            views=tuple(views),
+            ads=tuple(ads),
+            trace=trace,
+        )
+
+    # -- stages -----------------------------------------------------------------
+
+    def _rewrite_with_customer_data(self, app, request,
+                                    trace) -> str:
+        query_text = request.query_text
+        customer_bindings = app.bindings_by_role(SourceRole.CUSTOMER)
+        if not customer_bindings:
+            return query_text
+        start = self.clock.now_ms
+        for binding in customer_bindings:
+            source = self._registry.get(binding.source_id)
+            if isinstance(source, CustomerProfileSource):
+                query_text = source.rewrite(
+                    query_text, request.customer_id or None
+                )
+        self.clock.advance(0.5)
+        trace.add_stage(
+            "customer-rewrite", self.clock.now_ms - start,
+            (f"rewritten to {query_text!r}"
+             if query_text != request.query_text else "no profile match"),
+        )
+        return query_text
+
+    def _execute_sources(self, app, request, query_text, trace):
+        views: list[PrimaryResultView] = []
+        ads: tuple = ()
+        context = {
+            "app_id": app.app_id,
+            "session_id": request.session_id,
+            "now_ms": self.clock.now_ms,
+        }
+
+        # Stage: primary content sources.
+        primary_start = self.clock.now_ms
+        primary_count = 0
+        page = max(0, request.page)
+        for slot in app.slots:
+            binding = app.binding(slot.binding_id)
+            if binding.role == SourceRole.PRIMARY:
+                result = self._query_source(
+                    binding, query_text, context, trace,
+                    search_fields=binding.search_fields,
+                    offset=page * binding.max_results,
+                )
+                items = list(result.items)
+                if self.community_feedback is not None:
+                    items = self.community_feedback.rerank(
+                        app.app_id, items
+                    )
+                primary_count += len(items)
+                for item in items:
+                    views.append(PrimaryResultView(
+                        slot_binding_id=slot.binding_id,
+                        item=item,
+                        supplemental={},
+                    ))
+        trace.add_stage(
+            "primary", self.clock.now_ms - primary_start,
+            f"{primary_count} items",
+        )
+
+        # Stage: supplemental fan-out, driven by primary-result fields.
+        supplemental_start = self.clock.now_ms
+        if self.supplemental_mode == "batched":
+            views, supplemental_queries = self._supplemental_batched(
+                app, views, context, trace
+            )
+            trace.add_stage(
+                "supplemental", self.clock.now_ms - supplemental_start,
+                f"{supplemental_queries} batched queries",
+            )
+            return self._finish_sources(app, request, views, trace)
+        supplemental_queries = 0
+        enriched: list[PrimaryResultView] = []
+        for view in views:
+            slot = self._slot_by_binding(app, view.slot_binding_id)
+            supplemental: dict[str, SourceResult] = {}
+            for child in slot.children:
+                child_binding = app.binding(child.binding_id)
+                derived = self._derive_query(child_binding, view.item)
+                if not derived:
+                    trace.warnings.append(
+                        f"binding {child.binding_id}: drive fields "
+                        f"{child_binding.drive_fields} empty on item "
+                        f"{view.item.item_id!r}"
+                    )
+                    supplemental[child.binding_id] = SourceResult.empty(
+                        child_binding.source_id
+                    )
+                    continue
+                supplemental_queries += 1
+                result = self._query_source(
+                    child_binding, derived, context, trace,
+                )
+                if not result.items and child_binding.query_suffix:
+                    # Focused query too narrow: retry on drive values only.
+                    relaxed = self._derive_query(
+                        child_binding, view.item, with_suffix=False
+                    )
+                    supplemental_queries += 1
+                    result = self._query_source(
+                        child_binding, relaxed, context, trace,
+                    )
+                supplemental[child.binding_id] = result
+            enriched.append(PrimaryResultView(
+                slot_binding_id=view.slot_binding_id,
+                item=view.item,
+                supplemental=supplemental,
+            ))
+        views = enriched
+        trace.add_stage(
+            "supplemental", self.clock.now_ms - supplemental_start,
+            f"{supplemental_queries} focused queries",
+        )
+        return self._finish_sources(app, request, views, trace)
+
+    def _finish_sources(self, app, request, views, trace):
+        """The ads stage (only when the designer opted in — monetization
+        is voluntary, per Table I)."""
+        context = {
+            "app_id": app.app_id,
+            "session_id": request.session_id,
+            "now_ms": self.clock.now_ms,
+        }
+        ads_start = self.clock.now_ms
+        ad_bindings = app.bindings_by_role(SourceRole.ADS)
+        ad_items: list = []
+        for binding in ad_bindings:
+            result = self._query_source(
+                binding, request.query_text, context, trace,
+                cacheable=False,
+            )
+            ad_items.extend(result.items)
+        if ad_bindings:
+            trace.add_stage(
+                "ads", self.clock.now_ms - ads_start,
+                f"{len(ad_items)} ads",
+            )
+        return views, tuple(ad_items)
+
+    def _supplemental_batched(self, app, views, context, trace):
+        """One disjunctive query per supplemental binding.
+
+        Saves queries when many primary results share a supplemental
+        source, at the cost of a fan-back-out assignment step that can
+        misattribute results — exactly the trade-off the ablation
+        measures.
+        """
+        derived_by_view: dict[int, dict[str, str]] = {}
+        batch: dict[str, list[tuple[int, str]]] = {}
+        for i, view in enumerate(views):
+            slot = self._slot_by_binding(app, view.slot_binding_id)
+            derived_by_view[i] = {}
+            for child in slot.children:
+                child_binding = app.binding(child.binding_id)
+                derived = self._derive_query(child_binding, view.item,
+                                             with_suffix=False)
+                if not derived:
+                    continue
+                derived_by_view[i][child.binding_id] = derived
+                batch.setdefault(child.binding_id, []).append(
+                    (i, derived)
+                )
+
+        queries_issued = 0
+        results_by_binding: dict[str, object] = {}
+        for binding_id, pairs in batch.items():
+            child_binding = app.binding(binding_id)
+            unique_terms = list(dict.fromkeys(q for __, q in pairs))
+            disjunction = " OR ".join(f"({q})" for q in unique_terms)
+            if child_binding.query_suffix:
+                disjunction = (f"({disjunction}) "
+                               f"{child_binding.query_suffix}")
+            big_binding_count = child_binding.max_results * max(
+                1, len(unique_terms)
+            )
+            request_binding = dataclass_replace(
+                child_binding, max_results=big_binding_count
+            )
+            queries_issued += 1
+            results_by_binding[binding_id] = self._query_source(
+                request_binding, disjunction, context, trace,
+            )
+
+        enriched = []
+        for i, view in enumerate(views):
+            supplemental: dict[str, SourceResult] = {}
+            for binding_id, derived in derived_by_view[i].items():
+                child_binding = app.binding(binding_id)
+                pooled = results_by_binding.get(binding_id)
+                assigned = self._assign_batched(
+                    pooled, derived, child_binding.max_results
+                ) if pooled is not None else ()
+                supplemental[binding_id] = SourceResult(
+                    source_id=child_binding.source_id,
+                    items=tuple(assigned),
+                    total_matches=len(assigned),
+                )
+            enriched.append(PrimaryResultView(
+                slot_binding_id=view.slot_binding_id,
+                item=view.item,
+                supplemental=supplemental,
+            ))
+        return enriched, queries_issued
+
+    @staticmethod
+    def _assign_batched(pooled, derived_query: str, max_results: int):
+        """Fan pooled results back out to the view they belong to.
+
+        A pooled item belongs to a view when the view's drive value
+        (the quoted phrase of its derived query) appears in the item's
+        title, snippet, or field values.
+        """
+        needle = derived_query.replace('"', "").strip().lower()
+        assigned = []
+        for item in pooled.items:
+            haystack = " ".join(
+                [item.title, item.snippet]
+                + [str(v) for v in item.fields.values()]
+            ).lower()
+            if needle in haystack:
+                assigned.append(item)
+                if len(assigned) >= max_results:
+                    break
+        return assigned
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _slot_by_binding(app, binding_id: str):
+        for slot in app.all_slots():
+            if slot.binding_id == binding_id:
+                return slot
+        raise NotFoundError(f"no slot for binding {binding_id!r}")
+
+    @staticmethod
+    def _derive_query(binding, item, with_suffix: bool = True) -> str:
+        """Build the supplemental query from the configured drive fields."""
+        parts = []
+        for field_name in binding.drive_fields:
+            value = item.get(field_name)
+            if value:
+                parts.append(f'"{value}"' if " " in value else value)
+        if not parts:
+            return ""
+        query = " ".join(parts)
+        if with_suffix and binding.query_suffix:
+            query = f"{query} {binding.query_suffix}"
+        return query
+
+    def _query_source(self, binding, query_text, context, trace,
+                      search_fields=(), cacheable: bool = True,
+                      offset: int = 0):
+        source = self._registry.get(binding.source_id)
+        query_context = dict(context)
+        if search_fields:
+            query_context["search_fields"] = list(search_fields)
+        cache_key = (binding.source_id, query_text, binding.max_results,
+                     offset)
+        if self.cache_enabled and cacheable:
+            cached = self.cache.get(cache_key, self.clock.now_ms)
+            if cached is not None:
+                trace.cache_hits += 1
+                return cached
+            trace.cache_misses += 1
+        if self.circuit_breaker.is_open(binding.source_id):
+            trace.warnings.append(
+                f"source {binding.source_id} skipped: circuit open "
+                "after repeated failures"
+            )
+            return SourceResult.empty(binding.source_id)
+        self.clock.advance(self._DISPATCH_MS)
+        try:
+            result = source.search(SourceQuery(
+                text=query_text,
+                count=binding.max_results,
+                offset=offset,
+                context=query_context,
+            ))
+        except ReproError as exc:
+            # Error isolation: a failing source must not take down the app.
+            self.circuit_breaker.record_failure(binding.source_id)
+            trace.warnings.append(
+                f"source {binding.source_id} failed: {exc}"
+            )
+            return SourceResult.empty(binding.source_id)
+        self.circuit_breaker.record_success(binding.source_id)
+        if self.cache_enabled and cacheable:
+            self.cache.put(cache_key, result, self.clock.now_ms)
+        return result

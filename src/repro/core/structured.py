@@ -1,0 +1,145 @@
+"""Richer querying of structured data (future work item 2, §IV).
+
+A :class:`StructuredQuery` combines free-text relevance search with typed
+field predicates, ordering, and paging over a proprietary source — the
+kind of faceted storefront query ("in-stock RPGs under $30, cheapest
+first") that plain keyword search can't express.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from repro.core.datasources import SourceItem, SourceQuery, SourceResult
+from repro.errors import ValidationError
+
+__all__ = ["FieldPredicate", "StructuredQuery", "execute_structured"]
+
+_OPERATORS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class FieldPredicate:
+    """One typed predicate: ``price < 30``, ``producer contains 'studio'``."""
+
+    field: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS and self.op != "contains":
+            raise ValidationError(
+                f"unknown predicate operator {self.op!r}; expected one "
+                f"of {sorted(_OPERATORS)} or 'contains'"
+            )
+
+    def matches(self, record_values: dict) -> bool:
+        actual = record_values.get(self.field)
+        if actual is None:
+            return False
+        if self.op == "contains":
+            return str(self.value).lower() in str(actual).lower()
+        try:
+            return _OPERATORS[self.op](actual, self._coerced(actual))
+        except TypeError:
+            return False
+
+    def _coerced(self, actual):
+        """Coerce the predicate value toward the stored value's type."""
+        if isinstance(actual, bool):
+            return bool(self.value)
+        if isinstance(actual, (int, float)) \
+                and not isinstance(self.value, (int, float)):
+            try:
+                return float(self.value)
+            except (TypeError, ValueError):
+                return self.value
+        return self.value
+
+
+@dataclass(frozen=True)
+class StructuredQuery:
+    """Free text (optional) + predicates + ordering + paging."""
+
+    text: str = ""
+    predicates: tuple = ()
+    order_by: str = ""
+    descending: bool = False
+    limit: int = 10
+    offset: int = 0
+
+    def where(self, field_name: str, op: str,
+              value) -> "StructuredQuery":
+        """Return a copy with one more predicate (builder style)."""
+        return StructuredQuery(
+            text=self.text,
+            predicates=self.predicates + (
+                FieldPredicate(field_name, op, value),
+            ),
+            order_by=self.order_by,
+            descending=self.descending,
+            limit=self.limit,
+            offset=self.offset,
+        )
+
+
+def execute_structured(source, query: StructuredQuery) -> SourceResult:
+    """Run a :class:`StructuredQuery` against a proprietary source.
+
+    With ``text``, candidates come from the relevance search (preserving
+    its ranking unless ``order_by`` overrides it); without, the whole
+    table is scanned. Predicates filter; ordering and paging apply last.
+    """
+    if query.limit <= 0:
+        raise ValidationError("structured query limit must be positive")
+    table = source.table
+    if query.text:
+        relevance = source.search(SourceQuery(query.text,
+                                              count=len(table) or 1))
+        candidates = [(item, item.fields) for item in relevance.items]
+    else:
+        candidates = []
+        for record in table.all_records():
+            item = SourceItem(
+                item_id=record.record_id,
+                title=str(record.values.get(
+                    table.schema.field_names()[0], record.record_id
+                )),
+                fields=dict(record.values),
+            )
+            candidates.append((item, record.values))
+
+    filtered = [
+        item for item, values in candidates
+        if all(predicate.matches(values)
+               for predicate in query.predicates)
+    ]
+
+    if query.order_by:
+        if not table.schema.has_field(query.order_by):
+            raise ValidationError(
+                f"cannot order by unknown field {query.order_by!r}"
+            )
+
+        def sort_key(item):
+            value = item.fields.get(query.order_by)
+            # None sorts last regardless of direction.
+            return (value is None,
+                    value if value is not None else 0)
+
+        filtered.sort(key=sort_key, reverse=query.descending)
+
+    window = filtered[query.offset:query.offset + query.limit]
+    return SourceResult(
+        source_id=source.source_id,
+        items=tuple(window),
+        total_matches=len(filtered),
+    )

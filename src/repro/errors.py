@@ -1,0 +1,91 @@
+"""Exception hierarchy shared across the Symphony reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch platform failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An application or source configuration is invalid."""
+
+
+class ValidationError(ReproError):
+    """User-supplied data failed validation."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (tenant, table, app, service...) does not exist."""
+
+
+class DuplicateError(ReproError):
+    """An entity with the same identifier already exists."""
+
+
+class AuthorizationError(ReproError):
+    """The caller's token does not grant the requested operation."""
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exceeded its storage or request quota."""
+
+
+class UnsupportedCapabilityError(ReproError):
+    """A platform (typically a Table-I baseline) does not support a feature.
+
+    The capability probes used to regenerate Table I rely on this being
+    raised by baseline platforms for unsupported operations.
+    """
+
+    def __init__(self, capability: str, detail: str = "") -> None:
+        self.capability = capability
+        message = f"unsupported capability: {capability}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class TransportError(ReproError):
+    """A simulated network transport failed (timeout, reset, 4xx/5xx)."""
+
+
+class ServiceError(ReproError):
+    """A web service invocation failed."""
+
+
+class ServiceFaultError(ServiceError):
+    """A SOAP-style fault returned by a service."""
+
+    def __init__(self, code: str, reason: str) -> None:
+        self.code = code
+        self.reason = reason
+        super().__init__(f"{code}: {reason}")
+
+
+class QueryError(ReproError):
+    """A search query could not be parsed or evaluated."""
+
+
+class IngestError(ReproError):
+    """A data upload could not be parsed or normalized."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated."""
+
+
+class VersionConflictError(StorageError):
+    """Optimistic concurrency check failed on a record update."""
+
+
+class RenderError(ReproError):
+    """Layout rendering failed."""
+
+
+class PublicationError(ReproError):
+    """Publishing an application to a distribution target failed."""

@@ -1,0 +1,165 @@
+"""The ingestion pipeline: payload → rows → schema → tenant table.
+
+:class:`DatasetIngestor` is what the platform facade calls when a designer
+"registers her proprietary inventory data with Symphony" (§II-B). It
+dispatches on content type / filename to a reader, infers or validates the
+schema, bulk-loads a tenant table, archives the raw payload as a blob, and
+supports incremental refresh keyed on a chosen field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IngestError
+from repro.ingest.readers import (
+    parse_delimited,
+    parse_json_array,
+    parse_json_lines,
+    parse_xml_records,
+)
+from repro.ingest.rss import parse_rss
+from repro.ingest.workbook import parse_workbook
+from repro.storage.records import Schema, infer_schema
+
+__all__ = ["IngestReport", "DatasetIngestor"]
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one ingestion run."""
+
+    table_name: str
+    inserted: int = 0
+    updated: int = 0
+    unchanged: bool = False
+    format: str = ""
+    errors: list = field(default_factory=list)
+
+
+_EXTENSION_FORMATS = {
+    ".csv": "delimited",
+    ".tsv": "delimited",
+    ".txt": "delimited",
+    ".xml": "xml",
+    ".json": "json",
+    ".jsonl": "jsonlines",
+    ".xlsw": "workbook",
+    ".rss": "rss",
+}
+
+_CONTENT_TYPE_FORMATS = {
+    "text/csv": "delimited",
+    "text/tab-separated-values": "delimited",
+    "text/plain": "delimited",
+    "application/xml": "xml",
+    "text/xml": "xml",
+    "application/json": "json",
+    "application/x-jsonlines": "jsonlines",
+    "application/x-workbook": "workbook",
+    "application/rss+xml": "rss",
+}
+
+
+def detect_format(filename: str, content_type: str = "") -> str:
+    """Choose a reader from the filename extension, then content type."""
+    name = filename.lower()
+    for extension, fmt in _EXTENSION_FORMATS.items():
+        if name.endswith(extension):
+            return fmt
+    if content_type in _CONTENT_TYPE_FORMATS:
+        return _CONTENT_TYPE_FORMATS[content_type]
+    raise IngestError(
+        f"cannot determine format of {filename!r} "
+        f"(content type {content_type!r})"
+    )
+
+
+def rows_from_payload(payload, fmt: str | None = None,
+                      sheet: str | None = None) -> tuple[list[dict], str]:
+    """Parse an :class:`UploadPayload` into rows; returns (rows, format)."""
+    fmt = fmt or detect_format(payload.filename, payload.content_type)
+    if fmt == "delimited":
+        return parse_delimited(payload.data), fmt
+    if fmt == "xml":
+        return parse_xml_records(payload.data), fmt
+    if fmt == "json":
+        return parse_json_array(payload.data), fmt
+    if fmt == "jsonlines":
+        return parse_json_lines(payload.data), fmt
+    if fmt == "workbook":
+        workbook = parse_workbook(payload.data)
+        worksheet = (workbook.sheet(sheet) if sheet
+                     else workbook.first_sheet())
+        return worksheet.to_records(), fmt
+    if fmt == "rss":
+        return [item.to_row() for item in parse_rss(payload.data)], fmt
+    raise IngestError(f"unknown ingest format: {fmt!r}")
+
+
+class DatasetIngestor:
+    """Loads parsed uploads into a tenant's tables."""
+
+    def __init__(self, tenant) -> None:
+        self._tenant = tenant
+
+    def ingest(self, payload, table_name: str,
+               schema: Schema | None = None,
+               fmt: str | None = None,
+               sheet: str | None = None,
+               key_field: str | None = None,
+               indexed_fields: tuple = ()) -> IngestReport:
+        """Full or incremental load of ``payload`` into ``table_name``.
+
+        * First load: creates the table (inferring the schema unless one is
+          declared) and inserts every row.
+        * Subsequent loads with a ``key_field``: upserts row-by-row.
+        * Identical payload bytes (by blob hash): short-circuits as
+          ``unchanged``.
+        """
+        blob_key = f"uploads/{table_name}/{payload.filename}"
+        if self._tenant.blobs.exists(blob_key) \
+                and self._tenant.blobs.unchanged(blob_key, payload.data):
+            return IngestReport(table_name=table_name, unchanged=True)
+
+        rows, detected = rows_from_payload(payload, fmt=fmt, sheet=sheet)
+        report = IngestReport(table_name=table_name, format=detected)
+
+        if not self._tenant.has_table(table_name):
+            table_schema = schema or infer_schema(rows)
+            self._tenant.create_table(
+                table_name, table_schema, indexed_fields
+            )
+            report.inserted = self._tenant.insert_rows(table_name, rows)
+        elif key_field is not None:
+            table = self._tenant.table(table_name)
+            for row in rows:
+                before = len(table)
+                table.upsert_by(key_field, row)
+                if len(table) > before:
+                    report.inserted += 1
+                else:
+                    report.updated += 1
+        else:
+            report.inserted = self._tenant.insert_rows(table_name, rows)
+
+        self._tenant.put_blob(
+            blob_key, payload.data, payload.content_type,
+            created_ms=payload.received_ms,
+        )
+        return report
+
+    def ingest_rows(self, rows: list[dict], table_name: str,
+                    schema: Schema | None = None,
+                    indexed_fields: tuple = ()) -> IngestReport:
+        """Load already-parsed rows (e.g. a crawl result) into a table."""
+        if not rows:
+            raise IngestError("no rows to ingest")
+        report = IngestReport(table_name=table_name, format="rows")
+        if not self._tenant.has_table(table_name):
+            table_schema = schema or infer_schema(rows)
+            self._tenant.create_table(
+                table_name, table_schema, indexed_fields
+            )
+        report.inserted = self._tenant.insert_rows(table_name, rows)
+        return report

@@ -1,0 +1,43 @@
+"""Local search-engine substrate (the reproduction's Bing).
+
+The engine indexes the synthetic web (:mod:`repro.simweb`) and exposes the
+same contract Symphony's prototype consumed from Bing: ranked, captioned
+results for the web / image / video / news verticals, with per-query options
+such as site restriction, result count, and freshness. It also emits query
+and click logs, which feed Site Suggest and the analytics subsystem.
+"""
+
+from repro.searchengine.analysis import Analyzer, PorterStemmer, tokenize
+from repro.searchengine.documents import FieldedDocument
+from repro.searchengine.engine import (
+    SearchEngine,
+    SearchOptions,
+    SearchResponse,
+    SearchResult,
+    Vertical,
+    build_engine,
+)
+from repro.searchengine.index import InvertedIndex
+from repro.searchengine.logs import ClickEvent, QueryEvent, QueryLog
+from repro.searchengine.query import parse_query
+from repro.searchengine.ranking import BM25Parameters, pagerank
+
+__all__ = [
+    "Analyzer",
+    "PorterStemmer",
+    "tokenize",
+    "FieldedDocument",
+    "SearchEngine",
+    "SearchOptions",
+    "SearchResponse",
+    "SearchResult",
+    "Vertical",
+    "build_engine",
+    "InvertedIndex",
+    "ClickEvent",
+    "QueryEvent",
+    "QueryLog",
+    "parse_query",
+    "BM25Parameters",
+    "pagerank",
+]

@@ -1,0 +1,365 @@
+"""The search-engine facade: four verticals over the synthetic web.
+
+:func:`build_engine` indexes a :class:`~repro.simweb.model.SyntheticWeb`
+into web / image / video / news verticals and returns a
+:class:`SearchEngine` exposing the Bing-shaped contract Symphony consumes:
+ranked captioned results with site restriction, paging, and (for news)
+freshness filtering. Every query is charged simulated latency and logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.searchengine.analysis import Analyzer
+from repro.searchengine.documents import FieldedDocument, FieldMode
+from repro.searchengine.index import InvertedIndex
+from repro.searchengine.logs import QueryEvent, QueryLog
+from repro.searchengine.query import (
+    AndNode,
+    FilterNode,
+    OrNode,
+    QueryEvaluator,
+    extract_terms,
+    parse_query,
+)
+from repro.searchengine.ranking import (
+    BM25Parameters,
+    BM25Scorer,
+    blend_scores,
+    pagerank,
+    recency_boost,
+)
+from repro.searchengine.snippets import best_window
+from repro.searchengine.spelling import SpellingCorrector
+from repro.util import SimClock
+
+__all__ = [
+    "Vertical",
+    "SearchOptions",
+    "SearchResult",
+    "SearchResponse",
+    "VerticalIndex",
+    "SearchEngine",
+    "build_engine",
+]
+
+
+class Vertical(str, Enum):
+    """The four search verticals the engine serves."""
+
+    WEB = "web"
+    IMAGE = "image"
+    VIDEO = "video"
+    NEWS = "news"
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Per-query options mirroring a commercial search API's parameters."""
+
+    count: int = 10
+    offset: int = 0
+    sites: tuple[str, ...] = ()          # restrict to these domains
+    exclude_sites: tuple[str, ...] = ()  # drop these domains
+    freshness_days: int | None = None    # news-only recency window
+    augment_terms: tuple[str, ...] = ()  # terms silently ANDed in
+
+    def restricted(self) -> bool:
+        return bool(self.sites)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked result; ``fields`` carries vertical-specific extras."""
+
+    url: str
+    title: str
+    snippet: str
+    site: str
+    score: float
+    vertical: str
+    fields: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    query: str
+    vertical: str
+    results: tuple
+    total_matches: int
+    elapsed_ms: float
+    suggestion: str | None = None  # "did you mean", set on zero hits
+
+    def urls(self) -> list[str]:
+        return [r.url for r in self.results]
+
+
+class VerticalIndex:
+    """One vertical's index plus its ranking configuration."""
+
+    def __init__(self, vertical: Vertical, text_fields: list[str],
+                 params: BM25Parameters,
+                 authority: dict | None = None) -> None:
+        self.vertical = vertical
+        self.text_fields = list(text_fields)
+        self.params = params
+        self.authority = authority or {}
+        modes = {"site": FieldMode.KEYWORD, "topic": FieldMode.KEYWORD}
+        self.index = InvertedIndex(Analyzer(), field_modes=modes)
+
+    def add(self, document: FieldedDocument) -> None:
+        self.index.add(document)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class SearchEngine:
+    """Query entry point across verticals, with logging and latency."""
+
+    # Simulated latency model: fixed overhead plus a per-candidate cost.
+    _BASE_LATENCY_MS = 12.0
+    _PER_CANDIDATE_US = 40.0
+
+    def __init__(self, verticals: dict, clock: SimClock | None = None,
+                 log: QueryLog | None = None) -> None:
+        self._verticals = dict(verticals)
+        self.clock = clock or SimClock()
+        self.log = log or QueryLog()
+        self._correctors: dict = {}  # vertical -> SpellingCorrector
+
+    def vertical(self, vertical: Vertical | str) -> VerticalIndex:
+        key = Vertical(vertical)
+        return self._verticals[key]
+
+    def search(self, vertical: Vertical | str, query_text: str,
+               options: SearchOptions | None = None,
+               app_id: str | None = None,
+               session_id: str | None = None) -> SearchResponse:
+        """Run ``query_text`` against one vertical and log the event."""
+        options = options or SearchOptions()
+        vindex = self.vertical(vertical)
+        node = parse_query(query_text)
+        node = self._apply_options_to_ast(node, options)
+
+        evaluator = QueryEvaluator(vindex.index, vindex.text_fields)
+        candidates = evaluator.candidates(node)
+        candidates = self._apply_site_constraints(vindex, candidates, options)
+        if options.freshness_days is not None:
+            candidates = self._apply_freshness(vindex, candidates, options)
+
+        terms = extract_terms(node, vindex.index.analyzer)
+        scorer = BM25Scorer(vindex.index, vindex.text_fields, vindex.params)
+        scored = self._rank(vindex, candidates, terms, scorer)
+
+        elapsed = self._BASE_LATENCY_MS + (
+            len(candidates) * self._PER_CANDIDATE_US / 1000.0
+        )
+        self.clock.advance(elapsed)
+
+        window = scored[options.offset:options.offset + options.count]
+        results = tuple(
+            self._to_result(vindex, doc_id, score, terms)
+            for doc_id, score in window
+        )
+        suggestion = None
+        if not scored and terms:
+            suggestion = self._suggest(vindex, terms)
+        response = SearchResponse(
+            query=query_text,
+            vertical=Vertical(vertical).value,
+            results=results,
+            total_matches=len(scored),
+            elapsed_ms=elapsed,
+            suggestion=suggestion,
+        )
+        self.log.log_query(QueryEvent(
+            timestamp_ms=self.clock.now_ms,
+            query=query_text,
+            vertical=response.vertical,
+            app_id=app_id,
+            session_id=session_id,
+            result_urls=tuple(response.urls()),
+        ))
+        return response
+
+    def facets(self, vertical: Vertical | str, query_text: str,
+               facet_fields=("site", "topic")) -> dict:
+        """Facet counts over the query's full candidate set."""
+        from repro.searchengine.facets import compute_facets
+        vindex = self.vertical(vertical)
+        self.clock.advance(self._BASE_LATENCY_MS)
+        return compute_facets(vindex.index, vindex.text_fields,
+                              query_text, facet_fields)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _apply_options_to_ast(node, options: SearchOptions):
+        """Fold augment terms and site restriction into the AST."""
+        extra = []
+        for term in options.augment_terms:
+            extra.append(parse_query(term))
+        if options.sites:
+            site_filters = tuple(
+                FilterNode("site", site) for site in options.sites
+            )
+            extra.append(
+                site_filters[0] if len(site_filters) == 1
+                else OrNode(site_filters)
+            )
+        if not extra:
+            return node
+        return AndNode(tuple([node, *extra]))
+
+    def _apply_site_constraints(self, vindex, candidates, options):
+        if options.exclude_sites:
+            excluded = set()
+            for site in options.exclude_sites:
+                excluded |= vindex.index.keyword_matches("site", site)
+            candidates = candidates - excluded
+        return candidates
+
+    def _apply_freshness(self, vindex, candidates, options):
+        horizon = self.clock.now_ms - options.freshness_days * 86_400_000
+        fresh = set()
+        for doc_id in candidates:
+            doc = vindex.index.document(doc_id)
+            published = doc.fields.get("_published_ms", 0)
+            if published and int(published) >= horizon:
+                fresh.add(doc_id)
+        return fresh
+
+    def _rank(self, vindex, candidates, terms, scorer):
+        now_ms = self.clock.now_ms
+        scored = []
+        for doc_id in candidates:
+            relevance = scorer.score(doc_id, terms) if terms else 1.0
+            if vindex.vertical == Vertical.WEB:
+                prior = vindex.authority.get(doc_id, 0.0)
+                total = blend_scores(relevance, prior, prior_weight=0.3)
+            elif vindex.vertical == Vertical.NEWS:
+                doc = vindex.index.document(doc_id)
+                published = int(doc.fields.get("_published_ms", 0))
+                total = blend_scores(
+                    relevance, recency_boost(published, now_ms),
+                    prior_weight=0.5,
+                )
+            else:
+                total = relevance
+            scored.append((doc_id, total))
+        # Deterministic ordering: score desc, then doc id.
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def _to_result(self, vindex, doc_id, score, terms) -> SearchResult:
+        doc = vindex.index.document(doc_id)
+        extras = {
+            k: v for k, v in doc.fields.items()
+            if not k.startswith("_") and k not in
+            ("title", "body", "site", "url")
+        }
+        return SearchResult(
+            url=doc.get("url") or doc_id,
+            title=doc.get("title"),
+            snippet=best_window(doc.get("body"), terms,
+                                vindex.index.analyzer, width=28),
+            site=doc.get("site"),
+            score=round(score, 6),
+            vertical=vindex.vertical.value,
+            fields=extras,
+        )
+
+    def _suggest(self, vindex, terms) -> str | None:
+        """'Did you mean' over the vertical's vocabulary (lazy, cached)."""
+        corrector = self._correctors.get(vindex.vertical)
+        if corrector is None:
+            corrector = SpellingCorrector(vindex.index,
+                                          vindex.text_fields)
+            self._correctors[vindex.vertical] = corrector
+        corrected = corrector.suggest_query(terms)
+        if corrected is None:
+            return None
+        return " ".join(corrected)
+
+
+def build_engine(web, clock: SimClock | None = None,
+                 use_authority: bool = True) -> SearchEngine:
+    """Index a synthetic web into a ready-to-query :class:`SearchEngine`."""
+    web_params = BM25Parameters(field_boosts={"title": 2.0, "body": 1.0})
+    media_params = BM25Parameters(field_boosts={"title": 2.0,
+                                                "caption": 2.0,
+                                                "body": 1.0})
+    authority = {}
+    if use_authority:
+        # Normalize PageRank into [0, 1] so it blends on a known scale.
+        ranks = pagerank(web.link_graph())
+        if ranks:
+            top = max(ranks.values())
+            authority = {url: value / top for url, value in ranks.items()}
+
+    verticals = {
+        Vertical.WEB: VerticalIndex(
+            Vertical.WEB, ["title", "body"], web_params, authority
+        ),
+        Vertical.IMAGE: VerticalIndex(
+            Vertical.IMAGE, ["caption"], media_params
+        ),
+        Vertical.VIDEO: VerticalIndex(
+            Vertical.VIDEO, ["title", "body"], media_params
+        ),
+        Vertical.NEWS: VerticalIndex(
+            Vertical.NEWS, ["title", "body"], web_params
+        ),
+    }
+
+    for page in web.pages.values():
+        verticals[Vertical.WEB].add(FieldedDocument(
+            doc_id=page.url,
+            fields={
+                "url": page.url, "title": page.title, "body": page.body,
+                "site": page.site, "topic": page.topic,
+                "_published_ms": page.published_ms,
+                "entity": page.entity or "",
+            },
+            payload=page,
+        ))
+    for image in web.images.values():
+        verticals[Vertical.IMAGE].add(FieldedDocument(
+            doc_id=image.url,
+            fields={
+                "url": image.url, "title": image.caption,
+                "caption": image.caption, "body": image.caption,
+                "site": image.site, "topic": image.topic,
+                "width": image.width, "height": image.height,
+                "entity": image.entity or "",
+            },
+            payload=image,
+        ))
+    for video in web.videos.values():
+        verticals[Vertical.VIDEO].add(FieldedDocument(
+            doc_id=video.url,
+            fields={
+                "url": video.url, "title": video.title,
+                "body": video.description, "site": video.site,
+                "topic": video.topic, "duration_s": video.duration_s,
+                "entity": video.entity or "",
+            },
+            payload=video,
+        ))
+    for article in web.news.values():
+        verticals[Vertical.NEWS].add(FieldedDocument(
+            doc_id=article.url,
+            fields={
+                "url": article.url, "title": article.headline,
+                "body": article.body, "site": article.site,
+                "topic": article.topic,
+                "_published_ms": article.published_ms,
+                "entity": article.entity or "",
+            },
+            payload=article,
+        ))
+
+    return SearchEngine(verticals, clock=clock)

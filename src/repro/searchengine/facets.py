@@ -1,0 +1,67 @@
+"""Faceted counts over keyword fields.
+
+Specialized sites live and die by facets ("results by site / topic /
+year"); the designer uses them to understand a source's distribution
+before configuring restrictions, and applications can display them next
+to results. Facets are computed over the *full* candidate set of a
+query, not just the returned page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.searchengine.query import QueryEvaluator, parse_query
+
+__all__ = ["FacetCount", "FacetResult", "compute_facets"]
+
+
+@dataclass(frozen=True)
+class FacetCount:
+    value: str
+    count: int
+
+
+@dataclass(frozen=True)
+class FacetResult:
+    field: str
+    counts: tuple  # FacetCount, descending by count then value
+
+    def top(self, n: int = 5) -> list:
+        return list(self.counts[:n])
+
+    def as_dict(self) -> dict:
+        return {fc.value: fc.count for fc in self.counts}
+
+
+def compute_facets(index, text_fields, query_text: str,
+                   facet_fields) -> dict:
+    """Facet counts for ``query_text`` over the given keyword fields.
+
+    Returns ``{field: FacetResult}``. Facet fields must be stored on
+    documents (keyword or plain); values are bucketed verbatim
+    (lowercased), missing values land in ``"(none)"``.
+    """
+    if not facet_fields:
+        raise QueryError("no facet fields requested")
+    node = parse_query(query_text)
+    candidates = QueryEvaluator(index, list(text_fields)).candidates(
+        node
+    )
+    results = {}
+    for field_name in facet_fields:
+        buckets: dict[str, int] = {}
+        for doc_id in candidates:
+            raw = index.document(doc_id).fields.get(field_name)
+            value = (str(raw).lower() if raw not in (None, "")
+                     else "(none)")
+            buckets[value] = buckets.get(value, 0) + 1
+        counts = tuple(
+            FacetCount(value, count)
+            for value, count in sorted(
+                buckets.items(), key=lambda pair: (-pair[1], pair[0])
+            )
+        )
+        results[field_name] = FacetResult(field_name, counts)
+    return results

@@ -1,0 +1,343 @@
+"""Query language: lexer, recursive-descent parser, AST, and evaluator.
+
+Grammar (whitespace-separated, implicit AND):
+
+    query    := or_expr
+    or_expr  := and_expr ("OR" and_expr)*
+    and_expr := unary ("AND"? unary)*
+    unary    := "NOT" unary | atom
+    atom     := "(" query ")" | PHRASE | FILTER | TERM
+    FILTER   := name ":" value            e.g. site:gamespot.com
+    PHRASE   := '"' words '"'
+
+``site:`` (and any other keyword-mode field) filters exactly; text fields
+match analyzed terms. Evaluation returns the candidate doc-id set plus the
+analyzed scoring terms, so ranking happens once, outside the boolean logic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = [
+    "QueryNode", "TermNode", "PhraseNode", "FilterNode", "RangeNode",
+    "AndNode", "OrNode", "NotNode",
+    "parse_query", "QueryEvaluator", "extract_terms",
+]
+
+
+class QueryNode:
+    """Base class for query AST nodes."""
+
+
+@dataclass(frozen=True)
+class TermNode(QueryNode):
+    text: str
+
+
+@dataclass(frozen=True)
+class PhraseNode(QueryNode):
+    text: str
+
+
+@dataclass(frozen=True)
+class FilterNode(QueryNode):
+    field: str
+    value: str
+
+
+@dataclass(frozen=True)
+class RangeNode(QueryNode):
+    """Inclusive range filter: ``price:[10 TO 30]``.
+
+    Either bound may be ``*`` (open). Bounds compare numerically when
+    both the bound and the document value parse as numbers, otherwise
+    lexicographically (which covers ISO dates).
+    """
+
+    field: str
+    low: str
+    high: str
+
+
+@dataclass(frozen=True)
+class AndNode(QueryNode):
+    children: tuple
+
+
+@dataclass(frozen=True)
+class OrNode(QueryNode):
+    children: tuple
+
+
+@dataclass(frozen=True)
+class NotNode(QueryNode):
+    child: QueryNode
+
+
+# -- lexer -------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+      (?P<phrase>"[^"]*")
+    | (?P<range>[A-Za-z_][A-Za-z0-9_.]*:\[[^\]]+\])
+    | (?P<lparen>\()
+    | (?P<rparen>\))
+    | (?P<filter>[A-Za-z_][A-Za-z0-9_.]*:[^\s()"]+)
+    | (?P<word>[^\s()":]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot lex query near: {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("phrase", "range", "lparen", "rparen", "filter",
+                     "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+# -- parser -------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self) -> QueryNode:
+        node = self._or_expr()
+        if self._pos != len(self._tokens):
+            raise QueryError("unexpected trailing tokens in query")
+        return node
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _or_expr(self) -> QueryNode:
+        children = [self._and_expr()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "word" \
+                    and token.value == "OR":
+                self._next()
+                children.append(self._and_expr())
+            else:
+                break
+        if len(children) == 1:
+            return children[0]
+        return OrNode(tuple(children))
+
+    def _and_expr(self) -> QueryNode:
+        children = [self._unary()]
+        while True:
+            token = self._peek()
+            if token is None or token.kind == "rparen":
+                break
+            if token.kind == "word" and token.value == "OR":
+                break
+            if token.kind == "word" and token.value == "AND":
+                self._next()
+                continue
+            children.append(self._unary())
+        if len(children) == 1:
+            return children[0]
+        return AndNode(tuple(children))
+
+    def _unary(self) -> QueryNode:
+        token = self._peek()
+        if token is not None and token.kind == "word" \
+                and token.value == "NOT":
+            self._next()
+            return NotNode(self._unary())
+        return self._atom()
+
+    def _atom(self) -> QueryNode:
+        token = self._next()
+        if token.kind == "lparen":
+            node = self._or_expr()
+            closing = self._next()
+            if closing.kind != "rparen":
+                raise QueryError("expected closing parenthesis")
+            return node
+        if token.kind == "phrase":
+            return PhraseNode(token.value.strip('"'))
+        if token.kind == "range":
+            name, __, body = token.value.partition(":")
+            inner = body.strip()[1:-1]  # drop the brackets
+            low, sep, high = inner.partition(" TO ")
+            if not sep:
+                raise QueryError(
+                    f"range filter needs 'low TO high': {token.value!r}"
+                )
+            return RangeNode(name.lower(), low.strip(), high.strip())
+        if token.kind == "filter":
+            name, __, value = token.value.partition(":")
+            return FilterNode(name.lower(), value)
+        if token.kind == "word":
+            return TermNode(token.value)
+        raise QueryError(f"unexpected token: {token.value!r}")
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse ``text`` into an AST; raises :class:`QueryError` on bad input."""
+    if not text or not text.strip():
+        raise QueryError("empty query")
+    tokens = _lex(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()
+
+
+def extract_terms(node: QueryNode, analyzer) -> list[str]:
+    """Analyzed positive terms of a query, for BM25 scoring and snippets."""
+    terms: list[str] = []
+
+    def walk(current: QueryNode, positive: bool) -> None:
+        if isinstance(current, TermNode) and positive:
+            terms.extend(analyzer.analyze(current.text))
+        elif isinstance(current, PhraseNode) and positive:
+            terms.extend(analyzer.analyze(current.text))
+        elif isinstance(current, (AndNode, OrNode)):
+            for child in current.children:
+                walk(child, positive)
+        elif isinstance(current, NotNode):
+            walk(current.child, not positive)
+
+    walk(node, True)
+    # Deduplicate but keep first-seen order.
+    return list(dict.fromkeys(terms))
+
+
+class QueryEvaluator:
+    """Evaluates a query AST against an :class:`InvertedIndex`.
+
+    ``text_fields`` are the fields searched for bare terms and phrases;
+    filters address their named field directly (keyword fields match
+    exactly, text fields match all analyzed terms of the value).
+    """
+
+    def __init__(self, index, text_fields: list[str]) -> None:
+        self._index = index
+        self._text_fields = list(text_fields)
+
+    def candidates(self, node: QueryNode) -> set:
+        return self._eval(node)
+
+    def _eval(self, node: QueryNode) -> set:
+        if isinstance(node, TermNode):
+            return self._eval_term(node.text)
+        if isinstance(node, PhraseNode):
+            return self._eval_phrase(node.text)
+        if isinstance(node, FilterNode):
+            return self._eval_filter(node.field, node.value)
+        if isinstance(node, RangeNode):
+            return self._eval_range(node)
+        if isinstance(node, AndNode):
+            result: set | None = None
+            for child in node.children:
+                child_set = self._eval(child)
+                result = child_set if result is None else result & child_set
+                if not result:
+                    return set()
+            return result or set()
+        if isinstance(node, OrNode):
+            result: set = set()
+            for child in node.children:
+                result |= self._eval(child)
+            return result
+        if isinstance(node, NotNode):
+            return self._index.all_doc_ids() - self._eval(node.child)
+        raise QueryError(f"unknown query node: {node!r}")
+
+    def _eval_term(self, text: str) -> set:
+        terms = self._index.analyzer.analyze(text)
+        if not terms:
+            return set()
+        matched: set = set()
+        for term in terms:
+            for field_name in self._text_fields:
+                matched |= set(self._index.postings(field_name, term))
+        return matched
+
+    def _eval_phrase(self, text: str) -> set:
+        terms = self._index.analyzer.analyze(text)
+        if not terms:
+            return set()
+        matched: set = set()
+        for field_name in self._text_fields:
+            matched |= self._index.phrase_matches(field_name, terms)
+        return matched
+
+    def _eval_range(self, node: RangeNode) -> set:
+        """Inclusive range scan over stored field values.
+
+        Ranges are evaluated against the raw document fields (not the
+        analyzed postings), which is what makes them work for numeric
+        and date columns of proprietary data.
+        """
+        matched = set()
+        for doc_id in self._index.all_doc_ids():
+            raw = self._index.document(doc_id).fields.get(node.field)
+            if raw is None or raw == "":
+                continue
+            if self._in_range(str(raw), node.low, node.high):
+                matched.add(doc_id)
+        return matched
+
+    @staticmethod
+    def _in_range(value: str, low: str, high: str) -> bool:
+        def compare(bound: str, is_low: bool) -> bool:
+            if bound == "*":
+                return True
+            try:
+                return (float(value) >= float(bound) if is_low
+                        else float(value) <= float(bound))
+            except ValueError:
+                return (value >= bound if is_low else value <= bound)
+
+        return compare(low, True) and compare(high, False)
+
+    def _eval_filter(self, field_name: str, value: str) -> set:
+        if field_name in self._index.keyword_fields():
+            return self._index.keyword_matches(field_name, value)
+        terms = self._index.analyzer.analyze(value)
+        if not terms:
+            return set()
+        result: set | None = None
+        for term in terms:
+            term_docs = set(self._index.postings(field_name, term))
+            result = term_docs if result is None else result & term_docs
+        return result or set()

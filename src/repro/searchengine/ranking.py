@@ -1,0 +1,132 @@
+"""Ranking: BM25 scoring, PageRank link authority, and score blending.
+
+The web vertical blends BM25 text relevance with a link-authority prior;
+the news vertical blends BM25 with recency. Both blends are ablatable (see
+DESIGN.md §6) by zeroing the respective weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["BM25Parameters", "BM25Scorer", "pagerank", "recency_boost",
+           "blend_scores"]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """Okapi BM25 free parameters plus per-field boosts."""
+
+    k1: float = 1.2
+    b: float = 0.75
+    field_boosts: dict = field(default_factory=dict)  # field -> multiplier
+
+    def boost(self, field_name: str) -> float:
+        return self.field_boosts.get(field_name, 1.0)
+
+
+class BM25Scorer:
+    """Scores documents for a bag of query terms against one index.
+
+    The scorer is constructed per query so it can cache idf values; the
+    index supplies df/tf/length statistics.
+    """
+
+    def __init__(self, index, fields: list[str],
+                 params: BM25Parameters | None = None) -> None:
+        self._index = index
+        self._fields = list(fields)
+        self._params = params or BM25Parameters()
+        self._idf_cache: dict[tuple[str, str], float] = {}
+
+    def _idf(self, field_name: str, term: str) -> float:
+        key = (field_name, term)
+        if key not in self._idf_cache:
+            n = len(self._index)
+            df = self._index.document_frequency(field_name, term)
+            # BM25+ style floor keeps idf positive for very common terms.
+            self._idf_cache[key] = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        return self._idf_cache[key]
+
+    def score(self, doc_id: str, terms: list[str]) -> float:
+        params = self._params
+        total = 0.0
+        for field_name in self._fields:
+            avg_len = self._index.average_field_length(field_name)
+            if avg_len == 0:
+                continue
+            doc_len = self._index.field_length(field_name, doc_id)
+            norm = params.k1 * (
+                1.0 - params.b + params.b * doc_len / avg_len
+            )
+            boost = params.boost(field_name)
+            for term in terms:
+                posting = self._index.postings(field_name, term).get(doc_id)
+                if posting is None:
+                    continue
+                tf = posting.term_frequency
+                total += boost * self._idf(field_name, term) * (
+                    tf * (params.k1 + 1.0) / (tf + norm)
+                )
+        return total
+
+    def score_many(self, doc_ids, terms: list[str]) -> dict[str, float]:
+        return {doc_id: self.score(doc_id, terms) for doc_id in doc_ids}
+
+
+def pagerank(graph: dict, damping: float = 0.85,
+             iterations: int = 40, tolerance: float = 1e-9) -> dict:
+    """Power-iteration PageRank over an adjacency dict ``node -> [targets]``.
+
+    Dangling nodes redistribute uniformly. Returns a probability
+    distribution over all nodes appearing as keys or targets.
+    """
+    nodes = set(graph)
+    for targets in graph.values():
+        nodes.update(targets)
+    if not nodes:
+        return {}
+    ordered = sorted(nodes)
+    n = len(ordered)
+    rank = {node: 1.0 / n for node in ordered}
+    out_degree = {node: len(graph.get(node, [])) for node in ordered}
+    for _ in range(iterations):
+        dangling_mass = sum(
+            rank[node] for node in ordered if out_degree[node] == 0
+        )
+        next_rank = {
+            node: (1.0 - damping) / n + damping * dangling_mass / n
+            for node in ordered
+        }
+        for node in ordered:
+            targets = graph.get(node, [])
+            if not targets:
+                continue
+            share = damping * rank[node] / len(targets)
+            for target in targets:
+                next_rank[target] += share
+        delta = sum(abs(next_rank[node] - rank[node]) for node in ordered)
+        rank = next_rank
+        if delta < tolerance:
+            break
+    return rank
+
+
+def recency_boost(published_ms: int, now_ms: int,
+                  half_life_days: float = 30.0) -> float:
+    """Exponential-decay freshness in (0, 1]; 1.0 for just-published."""
+    if published_ms <= 0:
+        return 0.0
+    age_days = max(0.0, (now_ms - published_ms) / 86_400_000.0)
+    return 0.5 ** (age_days / half_life_days)
+
+
+def blend_scores(relevance: float, prior: float,
+                 prior_weight: float = 0.3) -> float:
+    """Combine text relevance with an authority/freshness prior.
+
+    The prior acts multiplicatively on a (1 + prior) basis so documents
+    with zero prior are demoted but never eliminated.
+    """
+    return relevance * (1.0 + prior_weight * prior)

@@ -1,0 +1,71 @@
+"""Query-biased snippet extraction.
+
+Real search APIs return captions centred on the query terms; Symphony's
+result layouts bind to that ``snippet`` field. This module picks the
+window of the document body containing the most (distinct, then total)
+query-term matches and optionally highlights them.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["best_window", "highlight"]
+
+_WORD_RE = re.compile(r"\S+")
+
+
+def best_window(text: str, terms, analyzer, width: int = 30) -> str:
+    """The ``width``-word window of ``text`` best covering ``terms``.
+
+    ``terms`` are analyzed terms; each word of ``text`` is analyzed the
+    same way before matching, so stemmed variants count. Falls back to
+    the leading window when nothing matches. An ellipsis marks a window
+    that does not start at the beginning.
+    """
+    words = _WORD_RE.findall(text)
+    if not words:
+        return ""
+    if not terms:
+        return _render(words, 0, width)
+    term_set = set(terms)
+    matches = []
+    for i, word in enumerate(words):
+        analyzed = analyzer.analyze(word)
+        matches.append(bool(term_set.intersection(analyzed)))
+    best_start, best_key = 0, (-1, -1)
+    window_hits = sum(matches[:width])
+    # Slide the window; score = (distinct-ish via hits, earlier wins).
+    best_key = (window_hits, 0)
+    for start in range(1, max(1, len(words) - width + 1)):
+        window_hits += matches[start + width - 1] \
+            if start + width - 1 < len(words) else 0
+        window_hits -= matches[start - 1]
+        key = (window_hits, -start)
+        if key > best_key:
+            best_key = key
+            best_start = start
+    return _render(words, best_start, width)
+
+
+def _render(words, start: int, width: int) -> str:
+    window = words[start:start + width]
+    prefix = "… " if start > 0 else ""
+    suffix = " …" if start + width < len(words) else ""
+    return f"{prefix}{' '.join(window)}{suffix}"
+
+
+def highlight(snippet: str, terms, analyzer,
+              open_tag: str = "<b>", close_tag: str = "</b>") -> str:
+    """Wrap matching words of ``snippet`` in highlight tags."""
+    if not terms:
+        return snippet
+    term_set = set(terms)
+
+    def wrap(match):
+        word = match.group(0)
+        if term_set.intersection(analyzer.analyze(word)):
+            return f"{open_tag}{word}{close_tag}"
+        return word
+
+    return _WORD_RE.sub(wrap, snippet)

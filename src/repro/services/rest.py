@@ -1,0 +1,95 @@
+"""REST-style services: path-template routing over the service bus.
+
+A :class:`RestService` subclass declares routes like ``GET /prices/{sku}``;
+the bus invokes them via the generic ``invoke(operation, params)`` contract
+where the operation is ``"GET /prices/{sku}"`` and ``params`` carries both
+path and query parameters. :class:`RestClient` gives callers a friendlier
+``get("/prices/halo-3")`` surface and does the template matching.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NotFoundError, ServiceError
+from repro.services.bus import ServiceDescriptor
+
+__all__ = ["RestService", "RestClient"]
+
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _template_to_regex(template: str) -> re.Pattern:
+    pattern = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(template)
+                            .replace(r"\{", "{").replace(r"\}", "}"))
+    return re.compile(f"^{pattern}$")
+
+
+class RestService:
+    """Base class: subclasses populate ``self.routes`` in ``__init__``.
+
+    ``routes`` maps ``"GET /path/{param}"`` to a handler taking a params
+    dict and returning a JSON-able value.
+    """
+
+    name = "rest-service"
+    description = ""
+
+    def __init__(self) -> None:
+        self.routes: dict[str, object] = {}
+        self._compiled: list[tuple[str, re.Pattern, object]] = []
+
+    def route(self, operation: str, handler) -> None:
+        self.routes[operation] = handler
+        method, __, template = operation.partition(" ")
+        self._compiled.append(
+            (method.upper(), _template_to_regex(template), handler)
+        )
+
+    def describe(self) -> ServiceDescriptor:
+        return ServiceDescriptor(
+            name=self.name,
+            protocol="rest",
+            operations=tuple(sorted(self.routes)),
+            description=self.description,
+        )
+
+    def invoke(self, operation: str, params: dict):
+        """Bus entry point. ``operation`` may be a declared route key or a
+        concrete ``"GET /prices/halo-3"`` that matches a template."""
+        handler = self.routes.get(operation)
+        if handler is not None:
+            return handler(dict(params))
+        method, __, path = operation.partition(" ")
+        for route_method, pattern, route_handler in self._compiled:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match:
+                merged = dict(params)
+                merged.update(match.groupdict())
+                return route_handler(merged)
+        raise NotFoundError(
+            f"service {self.name!r} has no route for {operation!r}"
+        )
+
+
+class RestClient:
+    """Convenience caller for REST services on a bus."""
+
+    def __init__(self, bus, service_name: str) -> None:
+        self._bus = bus
+        self._service_name = service_name
+
+    def get(self, path: str, **params):
+        return self._bus.invoke(self._service_name, f"GET {path}", params)
+
+    def post(self, path: str, **params):
+        return self._bus.invoke(self._service_name, f"POST {path}", params)
+
+    def must_get(self, path: str, **params):
+        """Like :meth:`get` but wraps NotFound in :class:`ServiceError`."""
+        try:
+            return self.get(path, **params)
+        except NotFoundError as exc:
+            raise ServiceError(str(exc)) from exc

@@ -1,0 +1,35 @@
+"""Synthetic web substrate.
+
+The paper's prototype sits on top of Bing; this reproduction replaces the
+live web with a deterministic synthetic one. :class:`~repro.simweb.generator.
+WebGenerator` fabricates sites, pages, media assets, news articles, and the
+hyperlink graph across several topic domains. The search-engine substrate
+(:mod:`repro.searchengine`) indexes this web, the crawler ingests it, and
+RSS feeds are published from it — so every code path that would have touched
+the internet touches the simulation instead.
+"""
+
+from repro.simweb.model import (
+    ImageAsset,
+    NewsArticle,
+    Page,
+    Site,
+    SyntheticWeb,
+    VideoAsset,
+)
+from repro.simweb.generator import WebGenerator, WebSpec
+from repro.simweb.vocab import TOPICS, TopicVocabulary, topic_vocabulary
+
+__all__ = [
+    "ImageAsset",
+    "NewsArticle",
+    "Page",
+    "Site",
+    "SyntheticWeb",
+    "VideoAsset",
+    "WebGenerator",
+    "WebSpec",
+    "TOPICS",
+    "TopicVocabulary",
+    "topic_vocabulary",
+]

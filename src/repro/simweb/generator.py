@@ -1,0 +1,243 @@
+"""Deterministic generator for the synthetic web.
+
+Given a :class:`WebSpec`, :class:`WebGenerator` fabricates a
+:class:`~repro.simweb.model.SyntheticWeb` whose content, entities, and
+hyperlink structure are reproducible from the seed. Entities (game titles,
+wines, films...) recur across pages, images, videos, and news on multiple
+sites, which is what makes supplemental "focused web search" in the core
+platform return meaningfully related results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simweb.model import (
+    ImageAsset,
+    NewsArticle,
+    Page,
+    Site,
+    SyntheticWeb,
+    VideoAsset,
+)
+from repro.simweb.vocab import TOPICS, topic_vocabulary
+from repro.util import deterministic_rng, slugify
+
+__all__ = ["WebSpec", "WebGenerator"]
+
+_DAY_MS = 24 * 3600 * 1000
+
+
+@dataclass(frozen=True)
+class WebSpec:
+    """Size and shape parameters for the fabricated web."""
+
+    seed: int = 2010
+    topics: tuple[str, ...] = TOPICS
+    extra_sites_per_topic: int = 3     # synthetic sites beyond well-known ones
+    pages_per_site: int = 24
+    images_per_site: int = 8
+    videos_per_site: int = 5
+    news_per_site: int = 10
+    outlinks_per_page: int = 4
+    epoch_ms: int = 1_262_304_000_000  # 2010-01-01
+    history_days: int = 365
+
+
+@dataclass
+class WebGenerator:
+    """Builds a :class:`SyntheticWeb` from a :class:`WebSpec`."""
+
+    spec: WebSpec = field(default_factory=WebSpec)
+
+    def build(self) -> SyntheticWeb:
+        web = SyntheticWeb()
+        entities_by_topic: dict[str, list[str]] = {}
+        for topic in self.spec.topics:
+            vocab = topic_vocabulary(topic)
+            rng = deterministic_rng((self.spec.seed, "entities", topic))
+            # A recurring entity pool per topic: these names thread through
+            # pages, media, and news so cross-source joins find matches.
+            pool = []
+            seen = set()
+            while len(pool) < 30:
+                name = vocab.sample_entity(rng)
+                if name not in seen:
+                    seen.add(name)
+                    pool.append(name)
+            entities_by_topic[topic] = pool
+            web.entities[topic] = list(pool)
+            for domain in self._domains_for(topic, vocab):
+                well_known = domain in vocab.sites
+                self._build_site(web, domain, topic, vocab, pool, well_known)
+        self._wire_links(web)
+        return web
+
+    # -- site construction -------------------------------------------------
+
+    def _domains_for(self, topic: str, vocab) -> list[str]:
+        domains = list(vocab.sites)
+        rng = deterministic_rng((self.spec.seed, "domains", topic))
+        for _ in range(self.spec.extra_sites_per_topic):
+            name = slugify(vocab.sample_entity(rng))
+            domains.append(f"{name}.{topic.replace('_', '')}.example")
+        return domains
+
+    def _build_site(self, web, domain, topic, vocab, entity_pool,
+                    well_known: bool = False) -> None:
+        rng = deterministic_rng((self.spec.seed, "site", domain))
+        site = Site(
+            domain=domain,
+            topic=topic,
+            title=f"{domain.split('.')[0].title()} — "
+                  f"{topic.replace('_', ' ').title()}",
+            # Well-known sites (gamespot.com, ign.com...) get high authority
+            # so they surface first under site restriction — the behaviour
+            # the GamerQueen walkthrough in §II-B depends on.
+            authority_hint=(round(rng.uniform(0.7, 1.0), 3) if well_known
+                            else round(rng.uniform(0.2, 0.8), 3)),
+        )
+        web.add_site(site)
+        if well_known:
+            self._build_entity_pages(web, site, vocab, entity_pool, rng)
+        self._build_pages(web, site, vocab, entity_pool, rng)
+        self._build_images(web, site, vocab, entity_pool, rng)
+        self._build_videos(web, site, vocab, entity_pool, rng)
+        self._build_news(web, site, vocab, entity_pool, rng)
+
+    def _published(self, rng) -> int:
+        offset_days = rng.randint(0, self.spec.history_days)
+        return self.spec.epoch_ms + offset_days * _DAY_MS
+
+    def _build_entity_pages(self, web, site, vocab, entity_pool,
+                            rng) -> None:
+        """One review/detail page per topic entity on well-known sites.
+
+        This guarantees that a focused, site-restricted supplemental search
+        for any inventory title (drawn from the same entity pool) has
+        something to find — mirroring how gamespot/ign really do cover
+        every major title.
+        """
+        for i, entity in enumerate(entity_pool):
+            kind = rng.choice(("Review", "Preview", "Guide", "Interview"))
+            title = f"{entity} {kind}"
+            body = (
+                f"{entity} {vocab.sample_sentence(rng, 8, 14)} "
+                f"{kind.lower()} {vocab.sample_paragraph(rng, sentences=4)} "
+                f"Read the full {entity} review and rating. "
+                f"{entity} {vocab.sample_sentence(rng, 5, 9)}"
+            )
+            web.add_page(Page(
+                url=f"http://{site.domain}/{slugify(title)}-e{i}",
+                site=site.domain,
+                topic=site.topic,
+                title=title,
+                body=body,
+                published_ms=self._published(rng),
+                entity=entity,
+            ))
+
+    def _build_pages(self, web, site, vocab, entity_pool, rng) -> None:
+        for i in range(self.spec.pages_per_site):
+            entity = rng.choice(entity_pool) if rng.random() < 0.75 else None
+            title_words = " ".join(vocab.sample_words(rng, 4)).title()
+            title = f"{entity} {title_words}" if entity else title_words
+            body = vocab.sample_paragraph(rng, sentences=5)
+            if entity:
+                # Mention the entity several times so term statistics favour
+                # the page when the entity is the query.
+                mentions = " ".join(
+                    f"{entity} {vocab.sample_sentence(rng, 4, 8)}"
+                    for _ in range(2)
+                )
+                body = f"{body} {mentions}"
+            web.add_page(Page(
+                url=f"http://{site.domain}/{slugify(title)}-{i}",
+                site=site.domain,
+                topic=site.topic,
+                title=title,
+                body=body,
+                published_ms=self._published(rng),
+                entity=entity,
+            ))
+
+    def _build_images(self, web, site, vocab, entity_pool, rng) -> None:
+        for i in range(self.spec.images_per_site):
+            entity = rng.choice(entity_pool) if rng.random() < 0.8 else None
+            caption_tail = " ".join(vocab.sample_words(rng, 3))
+            caption = (f"{entity} {caption_tail}" if entity
+                       else caption_tail).strip()
+            web.add_image(ImageAsset(
+                url=f"http://{site.domain}/img/{slugify(caption)}-{i}.jpg",
+                site=site.domain,
+                topic=site.topic,
+                caption=caption,
+                width=rng.choice((320, 640, 800, 1024)),
+                height=rng.choice((240, 480, 600, 768)),
+                entity=entity,
+            ))
+
+    def _build_videos(self, web, site, vocab, entity_pool, rng) -> None:
+        for i in range(self.spec.videos_per_site):
+            entity = rng.choice(entity_pool) if rng.random() < 0.8 else None
+            base = " ".join(vocab.sample_words(rng, 3)).title()
+            title = f"{entity} — {base}" if entity else base
+            web.add_video(VideoAsset(
+                url=f"http://{site.domain}/video/{slugify(title)}-{i}",
+                site=site.domain,
+                topic=site.topic,
+                title=title,
+                description=vocab.sample_sentence(rng, 8, 16),
+                duration_s=rng.randint(30, 1200),
+                entity=entity,
+            ))
+
+    def _build_news(self, web, site, vocab, entity_pool, rng) -> None:
+        for i in range(self.spec.news_per_site):
+            entity = rng.choice(entity_pool) if rng.random() < 0.7 else None
+            head_tail = " ".join(vocab.sample_words(rng, 5)).capitalize()
+            headline = f"{entity}: {head_tail}" if entity else head_tail
+            web.add_news(NewsArticle(
+                url=f"http://{site.domain}/news/{slugify(headline)}-{i}",
+                site=site.domain,
+                topic=site.topic,
+                headline=headline,
+                body=vocab.sample_paragraph(rng, sentences=6),
+                published_ms=self._published(rng),
+                entity=entity,
+            ))
+
+    # -- link structure -----------------------------------------------------
+
+    def _wire_links(self, web: SyntheticWeb) -> None:
+        """Attach outlinks: mostly same-topic, authority-weighted targets."""
+        by_topic: dict[str, list[Page]] = {}
+        for page in web.pages.values():
+            by_topic.setdefault(page.topic, []).append(page)
+        for topic, pages in by_topic.items():
+            pages.sort(key=lambda p: p.url)
+        all_pages = sorted(web.pages.values(), key=lambda p: p.url)
+        rng = deterministic_rng((self.spec.seed, "links"))
+
+        def weight(page: Page) -> float:
+            return web.sites[page.site].authority_hint
+
+        rewired = {}
+        for page in all_pages:
+            candidates = by_topic[page.topic]
+            if rng.random() < 0.15:
+                candidates = all_pages  # occasional cross-topic link
+            weights = [weight(p) for p in candidates]
+            picks = rng.choices(
+                candidates, weights=weights,
+                k=min(self.spec.outlinks_per_page, len(candidates)),
+            )
+            outlinks = tuple(dict.fromkeys(
+                p.url for p in picks if p.url != page.url
+            ))
+            rewired[page.url] = Page(
+                url=page.url, site=page.site, topic=page.topic,
+                title=page.title, body=page.body, outlinks=outlinks,
+                published_ms=page.published_ms, entity=page.entity,
+            )
+        web.pages = rewired

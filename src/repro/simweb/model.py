@@ -1,0 +1,166 @@
+"""Entity model for the synthetic web.
+
+A :class:`SyntheticWeb` holds sites, each of which hosts pages and media
+assets, plus the cross-site hyperlink graph. Everything is a plain frozen
+dataclass so the web can be shared safely between the engine, crawler, and
+feed publishers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NotFoundError
+
+__all__ = [
+    "Site",
+    "Page",
+    "ImageAsset",
+    "VideoAsset",
+    "NewsArticle",
+    "SyntheticWeb",
+]
+
+
+@dataclass(frozen=True)
+class Site:
+    """A web site: a domain plus topical affiliation."""
+
+    domain: str
+    topic: str
+    title: str
+    authority_hint: float = 0.5  # prior used when seeding the link generator
+
+
+@dataclass(frozen=True)
+class Page:
+    """An HTML page on a site.
+
+    ``outlinks`` are absolute URLs; they may point to pages on other sites,
+    which is what gives the link graph its authority structure.
+    """
+
+    url: str
+    site: str
+    topic: str
+    title: str
+    body: str
+    outlinks: tuple[str, ...] = ()
+    published_ms: int = 0
+    entity: str | None = None  # the proper name this page is "about", if any
+
+    @property
+    def snippet(self) -> str:
+        return self.body[:180]
+
+
+@dataclass(frozen=True)
+class ImageAsset:
+    url: str
+    site: str
+    topic: str
+    caption: str
+    width: int
+    height: int
+    entity: str | None = None
+
+
+@dataclass(frozen=True)
+class VideoAsset:
+    url: str
+    site: str
+    topic: str
+    title: str
+    description: str
+    duration_s: int
+    entity: str | None = None
+
+
+@dataclass(frozen=True)
+class NewsArticle:
+    url: str
+    site: str
+    topic: str
+    headline: str
+    body: str
+    published_ms: int
+    entity: str | None = None
+
+    @property
+    def snippet(self) -> str:
+        return self.body[:180]
+
+
+@dataclass
+class SyntheticWeb:
+    """The complete fabricated web: sites, content, and links."""
+
+    sites: dict[str, Site] = field(default_factory=dict)
+    pages: dict[str, Page] = field(default_factory=dict)
+    images: dict[str, ImageAsset] = field(default_factory=dict)
+    videos: dict[str, VideoAsset] = field(default_factory=dict)
+    news: dict[str, NewsArticle] = field(default_factory=dict)
+    # Recurring proper names per topic; example inventories draw from these
+    # so proprietary data joins against web content.
+    entities: dict[str, list[str]] = field(default_factory=dict)
+
+    def add_site(self, site: Site) -> None:
+        self.sites[site.domain] = site
+
+    def add_page(self, page: Page) -> None:
+        self.pages[page.url] = page
+
+    def add_image(self, image: ImageAsset) -> None:
+        self.images[image.url] = image
+
+    def add_video(self, video: VideoAsset) -> None:
+        self.videos[video.url] = video
+
+    def add_news(self, article: NewsArticle) -> None:
+        self.news[article.url] = article
+
+    def site(self, domain: str) -> Site:
+        try:
+            return self.sites[domain]
+        except KeyError:
+            raise NotFoundError(f"no such site: {domain}") from None
+
+    def page(self, url: str) -> Page:
+        try:
+            return self.pages[url]
+        except KeyError:
+            raise NotFoundError(f"no such page: {url}") from None
+
+    def pages_on(self, domain: str) -> list[Page]:
+        return [p for p in self.pages.values() if p.site == domain]
+
+    def news_on(self, domain: str) -> list[NewsArticle]:
+        return [a for a in self.news.values() if a.site == domain]
+
+    def link_graph(self) -> dict[str, list[str]]:
+        """Adjacency over page URLs, dropping dangling outlinks."""
+        graph = {}
+        for page in self.pages.values():
+            graph[page.url] = [u for u in page.outlinks if u in self.pages]
+        return graph
+
+    def domain_link_graph(self) -> dict[str, dict[str, int]]:
+        """Site-level weighted adjacency (counts of cross-site links)."""
+        graph: dict[str, dict[str, int]] = {d: {} for d in self.sites}
+        for page in self.pages.values():
+            for target in page.outlinks:
+                target_page = self.pages.get(target)
+                if target_page is None or target_page.site == page.site:
+                    continue
+                out = graph.setdefault(page.site, {})
+                out[target_page.site] = out.get(target_page.site, 0) + 1
+        return graph
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sites": len(self.sites),
+            "pages": len(self.pages),
+            "images": len(self.images),
+            "videos": len(self.videos),
+            "news": len(self.news),
+        }

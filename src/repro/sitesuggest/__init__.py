@@ -1,0 +1,16 @@
+"""Site Suggest: related-site recommendation from usage data.
+
+The paper's §II-A: "A Site Suggest feature is provided that can suggest
+additional related sites to include based on the set already specified",
+citing Fuxman et al.'s wisdom-of-the-crowds keyword generation [2]. That
+work's core signal is co-occurrence in query/click logs: two sites are
+related when users click both for the same queries. We rebuild that signal
+from the local engine's logs (optionally blended with the synthetic web's
+link structure) and rank candidates by personalized random walk from the
+seed set, with a PMI scorer as an alternative.
+"""
+
+from repro.sitesuggest.graph import SiteCooccurrenceGraph
+from repro.sitesuggest.suggest import SiteSuggest, Suggestion
+
+__all__ = ["SiteCooccurrenceGraph", "SiteSuggest", "Suggestion"]

@@ -1,0 +1,411 @@
+"""Typed record tables with schema inference and optimistic versioning.
+
+Proprietary uploads land here after normalization. A table owns a
+:class:`Schema` (either declared or inferred from data), validates and
+coerces incoming values, maintains hash indexes on selected fields, and
+rejects stale updates via per-record version counters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import (
+    DuplicateError,
+    NotFoundError,
+    ValidationError,
+    VersionConflictError,
+)
+
+__all__ = [
+    "FieldType",
+    "FieldSpec",
+    "Schema",
+    "infer_schema",
+    "Record",
+    "RecordTable",
+]
+
+_INT_RE = re.compile(r"[+-]?\d+$")
+_FLOAT_RE = re.compile(r"[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_DATE_RE = re.compile(r"\d{4}-\d{2}-\d{2}$")
+_URL_RE = re.compile(r"https?://\S+$")
+_BOOL_VALUES = {"true": True, "false": False, "yes": True, "no": False,
+                "1": True, "0": False}
+
+
+class FieldType(str, Enum):
+    """The typed-column vocabulary of proprietary tables."""
+
+    STRING = "string"
+    TEXT = "text"       # long-form, analyzed when indexed for search
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    DATE = "date"       # ISO yyyy-mm-dd string
+    URL = "url"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    name: str
+    type: FieldType
+    required: bool = False
+
+    def coerce(self, value):
+        """Coerce ``value`` into this field's Python representation.
+
+        Raises :class:`ValidationError` when coercion is impossible.
+        """
+        if value is None or value == "":
+            if self.required:
+                raise ValidationError(
+                    f"field {self.name!r} is required but missing"
+                )
+            return None
+        try:
+            return _COERCERS[self.type](value)
+        except (ValueError, TypeError) as exc:
+            raise ValidationError(
+                f"field {self.name!r}: cannot interpret {value!r} "
+                f"as {self.type.value}"
+            ) from exc
+
+
+def _coerce_bool(value):
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in _BOOL_VALUES:
+        return _BOOL_VALUES[text]
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def _coerce_date(value):
+    text = str(value).strip()
+    if not _DATE_RE.match(text):
+        raise ValueError(f"not an ISO date: {value!r}")
+    return text
+
+
+def _coerce_url(value):
+    text = str(value).strip()
+    if not _URL_RE.match(text):
+        raise ValueError(f"not a URL: {value!r}")
+    return text
+
+
+_COERCERS = {
+    FieldType.STRING: lambda v: str(v),
+    FieldType.TEXT: lambda v: str(v),
+    FieldType.INTEGER: lambda v: int(str(v).strip()),
+    FieldType.FLOAT: lambda v: float(str(v).strip()),
+    FieldType.BOOLEAN: _coerce_bool,
+    FieldType.DATE: _coerce_date,
+    FieldType.URL: _coerce_url,
+}
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of field specs."""
+
+    fields: tuple
+
+    def __post_init__(self):
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValidationError("duplicate field names in schema")
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def spec(self, name: str) -> FieldSpec:
+        for spec in self.fields:
+            if spec.name == name:
+                return spec
+        raise NotFoundError(f"no such field in schema: {name}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def coerce_row(self, row: dict) -> dict:
+        """Validate+coerce one raw row; unknown keys are rejected."""
+        unknown = set(row) - set(self.field_names())
+        if unknown:
+            raise ValidationError(
+                f"row has fields not in schema: {sorted(unknown)}"
+            )
+        return {
+            spec.name: spec.coerce(row.get(spec.name))
+            for spec in self.fields
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "fields": [
+                {"name": f.name, "type": f.type.value,
+                 "required": f.required}
+                for f in self.fields
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls(tuple(
+            FieldSpec(f["name"], FieldType(f["type"]),
+                      f.get("required", False))
+            for f in data["fields"]
+        ))
+
+
+def _classify_value(value) -> FieldType:
+    if isinstance(value, bool):
+        return FieldType.BOOLEAN
+    if isinstance(value, int):
+        return FieldType.INTEGER
+    if isinstance(value, float):
+        return FieldType.FLOAT
+    text = str(value).strip()
+    if _INT_RE.match(text):
+        return FieldType.INTEGER
+    if _FLOAT_RE.match(text):
+        return FieldType.FLOAT
+    if text.lower() in _BOOL_VALUES:
+        return FieldType.BOOLEAN
+    if _DATE_RE.match(text):
+        return FieldType.DATE
+    if _URL_RE.match(text):
+        return FieldType.URL
+    if len(text) > 80 or text.count(" ") >= 12:
+        return FieldType.TEXT
+    return FieldType.STRING
+
+
+_WIDENING = {
+    # (current, observed) -> widened
+    (FieldType.INTEGER, FieldType.FLOAT): FieldType.FLOAT,
+    (FieldType.FLOAT, FieldType.INTEGER): FieldType.FLOAT,
+    (FieldType.STRING, FieldType.TEXT): FieldType.TEXT,
+    (FieldType.TEXT, FieldType.STRING): FieldType.TEXT,
+}
+
+
+def infer_schema(rows, sample_limit: int = 200) -> Schema:
+    """Infer a :class:`Schema` by scanning up to ``sample_limit`` rows.
+
+    Types widen monotonically: int+float → float, anything conflicting →
+    string (or text when long values were seen). Fields with no missing
+    values in the sample are *not* marked required — uploads are messy.
+    """
+    observed: dict[str, FieldType | None] = {}
+    order: list[str] = []
+    for i, row in enumerate(rows):
+        if i >= sample_limit:
+            break
+        for name, value in row.items():
+            if name not in observed:
+                observed[name] = None
+                order.append(name)
+            if value is None or value == "":
+                continue
+            kind = _classify_value(value)
+            current = observed[name]
+            if current is None or current == kind:
+                observed[name] = kind
+            else:
+                observed[name] = _WIDENING.get(
+                    (current, kind),
+                    FieldType.TEXT if FieldType.TEXT in (current, kind)
+                    else FieldType.STRING,
+                )
+    if not order:
+        raise ValidationError("cannot infer a schema from zero rows")
+    return Schema(tuple(
+        FieldSpec(name, observed[name] or FieldType.STRING)
+        for name in order
+    ))
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stored row: id, coerced values, and a version counter."""
+
+    record_id: str
+    values: dict
+    version: int = 1
+
+    def get(self, name: str, default=None):
+        return self.values.get(name, default)
+
+
+class RecordTable:
+    """A named table of records under one schema.
+
+    ``indexed_fields`` get exact-match hash indexes (used by service lookups
+    and supplemental joins); search-style retrieval is layered on top by
+    :mod:`repro.core.datasources`.
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 indexed_fields: tuple = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self.indexed_fields = tuple(indexed_fields)
+        for field_name in self.indexed_fields:
+            if not schema.has_field(field_name):
+                raise ValidationError(
+                    f"cannot index unknown field {field_name!r}"
+                )
+        self._records: dict[str, Record] = {}
+        self._indexes: dict[str, dict] = {f: {} for f in self.indexed_fields}
+        self._next_serial = 1
+
+    # -- CRUD ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+    def insert(self, row: dict, record_id: str | None = None) -> Record:
+        values = self.schema.coerce_row(row)
+        if record_id is None:
+            record_id = f"{self.name}:{self._next_serial}"
+            self._next_serial += 1
+        if record_id in self._records:
+            raise DuplicateError(f"record exists: {record_id}")
+        record = Record(record_id, values, version=1)
+        self._records[record_id] = record
+        self._index_record(record)
+        return record
+
+    def get(self, record_id: str) -> Record:
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise NotFoundError(
+                f"no record {record_id!r} in table {self.name!r}"
+            ) from None
+
+    def update(self, record_id: str, changes: dict,
+               expected_version: int | None = None) -> Record:
+        current = self.get(record_id)
+        if expected_version is not None \
+                and current.version != expected_version:
+            raise VersionConflictError(
+                f"record {record_id}: expected version "
+                f"{expected_version}, found {current.version}"
+            )
+        merged = dict(current.values)
+        merged.update(changes)
+        values = self.schema.coerce_row(merged)
+        self._unindex_record(current)
+        updated = Record(record_id, values, version=current.version + 1)
+        self._records[record_id] = updated
+        self._index_record(updated)
+        return updated
+
+    def delete(self, record_id: str) -> None:
+        record = self.get(record_id)
+        self._unindex_record(record)
+        del self._records[record_id]
+
+    def upsert_by(self, key_field: str, row: dict) -> Record:
+        """Insert, or update the single record whose ``key_field`` matches."""
+        values = self.schema.coerce_row(row)
+        key = values.get(key_field)
+        existing = self.find(key_field, key)
+        if not existing:
+            return self.insert(row)
+        if len(existing) > 1:
+            raise DuplicateError(
+                f"upsert key {key_field}={key!r} matches "
+                f"{len(existing)} records"
+            )
+        return self.update(existing[0].record_id, values)
+
+    # -- queries -----------------------------------------------------------------
+
+    def find(self, field_name: str, value) -> list:
+        """Exact match on an indexed or unindexed field."""
+        if field_name in self._indexes:
+            ids = self._indexes[field_name].get(self._key(value), ())
+            return [self._records[i] for i in ids]
+        return [r for r in self._records.values()
+                if r.values.get(field_name) == value]
+
+    def scan(self, predicate=None, limit: int | None = None) -> list:
+        out = []
+        for record in self._records.values():
+            if predicate is None or predicate(record):
+                out.append(record)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def all_records(self) -> list:
+        return list(self._records.values())
+
+    # -- persistence ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name,
+            "schema": self.schema.to_dict(),
+            "indexed_fields": list(self.indexed_fields),
+            "next_serial": self._next_serial,
+            "records": [
+                {"id": r.record_id, "version": r.version,
+                 "values": r.values}
+                for r in self._records.values()
+            ],
+        })
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RecordTable":
+        data = json.loads(payload)
+        table = cls(
+            data["name"],
+            Schema.from_dict(data["schema"]),
+            tuple(data.get("indexed_fields", ())),
+        )
+        for entry in data["records"]:
+            record = Record(entry["id"], entry["values"], entry["version"])
+            table._records[record.record_id] = record
+            table._index_record(record)
+        table._next_serial = data.get("next_serial", len(table) + 1)
+        return table
+
+    # -- index maintenance --------------------------------------------------------------
+
+    @staticmethod
+    def _key(value):
+        return str(value).lower() if value is not None else None
+
+    def _index_record(self, record: Record) -> None:
+        for field_name, index in self._indexes.items():
+            key = self._key(record.values.get(field_name))
+            index.setdefault(key, set()).add(record.record_id)
+
+    def _unindex_record(self, record: Record) -> None:
+        for field_name, index in self._indexes.items():
+            key = self._key(record.values.get(field_name))
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(record.record_id)
+                if not bucket:
+                    del index[key]
+
+    def approximate_bytes(self) -> int:
+        """Rough storage footprint used for quota accounting."""
+        total = 0
+        for record in self._records.values():
+            for name, value in record.values.items():
+                total += len(name) + len(str(value)) if value is not None \
+                    else len(name)
+        return total

@@ -1,0 +1,126 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the synthetic web, a read-only engine) are session-scoped;
+anything tests mutate (Symphony platforms, tenants) is function-scoped but
+built on a deliberately small web spec so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import Symphony
+from repro.simweb.generator import WebGenerator, WebSpec
+from repro.searchengine.engine import build_engine
+
+SMALL_SPEC = WebSpec(
+    seed=7,
+    topics=("video_games", "wine", "news"),
+    extra_sites_per_topic=1,
+    pages_per_site=8,
+    images_per_site=3,
+    videos_per_site=2,
+    news_per_site=4,
+)
+
+TINY_SPEC = WebSpec(
+    seed=11,
+    topics=("video_games",),
+    extra_sites_per_topic=0,
+    pages_per_site=5,
+    images_per_site=2,
+    videos_per_site=2,
+    news_per_site=3,
+)
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    """A moderate synthetic web shared read-only across the session."""
+    return WebGenerator(SMALL_SPEC).build()
+
+
+@pytest.fixture(scope="session")
+def tiny_web():
+    """A single-topic web for the cheapest platform tests."""
+    return WebGenerator(TINY_SPEC).build()
+
+
+@pytest.fixture(scope="session")
+def engine(small_web):
+    """A read-only engine over the small web. Tests must not mutate it."""
+    return build_engine(small_web)
+
+
+@pytest.fixture()
+def symphony(tiny_web):
+    """A fresh platform per test, on the tiny web (cheap to index)."""
+    return Symphony(web=tiny_web, use_authority=False)
+
+
+@pytest.fixture()
+def symphony_small(small_web):
+    """A fresh platform on the multi-topic small web."""
+    return Symphony(web=small_web, use_authority=False)
+
+
+@pytest.fixture()
+def designer_account(symphony):
+    return symphony.register_designer("Ann")
+
+
+def make_inventory_csv(entities, with_urls: bool = True) -> bytes:
+    """Build a game-store CSV over the given entity names."""
+    if with_urls:
+        header = "title,producer,description,image_url,detail_url"
+        lines = [header]
+        for i, name in enumerate(entities):
+            lines.append(
+                f'{name},Studio {i},"A classic {name} experience",'
+                f"http://img.example/{i}.jpg,"
+                f"http://gamerqueen.example/games/{i}"
+            )
+    else:
+        lines = ["title,producer"]
+        for i, name in enumerate(entities):
+            lines.append(f"{name},Studio {i}")
+    return "\n".join(lines).encode("utf-8")
+
+
+@pytest.fixture()
+def gamerqueen(symphony, designer_account):
+    """The §II-B application, built through the designer API.
+
+    Returns ``(symphony, app_id, games)``.
+    """
+    sym = symphony
+    games = sym.web.entities["video_games"][:6]
+    sym.upload_http(
+        designer_account, "inventory.csv", make_inventory_csv(games),
+        "inventory", content_type="text/csv",
+    )
+    inventory = sym.add_proprietary_source(
+        designer_account, "inventory",
+        search_fields=("title", "producer", "description"),
+    )
+    reviews = sym.add_web_source(
+        "Game reviews", "web",
+        sites=("gamespot.com", "ign.com", "teamxbox.com"),
+    )
+    designer = sym.designer()
+    session = designer.new_application(
+        "GamerQueen", designer_account.tenant.tenant_id
+    )
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=4,
+        search_fields=("title", "producer", "description"),
+    )
+    session.add_hyperlink(slot, "title", href_field="detail_url")
+    session.add_image(slot, "image_url")
+    session.add_text(slot, "description")
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews", max_results=2, query_suffix="review",
+    )
+    app_id = sym.host(session)
+    return sym, app_id, games

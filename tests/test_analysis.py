@@ -1,0 +1,133 @@
+"""Tests for tokenization, stopwords, and the Porter stemmer."""
+
+from hypothesis import given, strategies as st
+
+from repro.searchengine.analysis import (
+    Analyzer,
+    PorterStemmer,
+    STOPWORDS,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Halo: Combat Evolved") == \
+            ["halo", "combat", "evolved"]
+
+    def test_numbers_kept(self):
+        assert tokenize("Top 10 games of 2009") == \
+            ["top", "10", "games", "of", "2009"]
+
+    def test_apostrophes_stay_in_token(self):
+        assert tokenize("Ann's store") == ["ann's", "store"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ---") == []
+
+    @given(st.text(max_size=100))
+    def test_tokens_are_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+
+class TestPorterStemmer:
+    # Canonical examples from Porter's paper.
+    CASES = {
+        "caresses": "caress",
+        "ponies": "poni",
+        "ties": "ti",
+        "caress": "caress",
+        "cats": "cat",
+        "feed": "feed",
+        "agreed": "agre",
+        "plastered": "plaster",
+        "motoring": "motor",
+        "sing": "sing",
+        "conflated": "conflat",
+        "troubling": "troubl",
+        "sized": "size",
+        "hopping": "hop",
+        "falling": "fall",
+        "hissing": "hiss",
+        "fizzed": "fizz",
+        "happy": "happi",
+        "relational": "relat",
+        "conditional": "condit",
+        "rational": "ration",
+        "digitizer": "digit",
+        "operator": "oper",
+        "feudalism": "feudal",
+        "hopefulness": "hope",
+        "formaliti": "formal",
+        "triplicate": "triplic",
+        "formative": "form",
+        "formalize": "formal",
+        "electrical": "electr",
+        "hopeful": "hope",
+        "goodness": "good",
+        "revival": "reviv",
+        "allowance": "allow",
+        "inference": "infer",
+        "adjustment": "adjust",
+        "dependent": "depend",
+        "adoption": "adopt",
+        "irritant": "irrit",
+        "bowdlerize": "bowdler",
+        "probate": "probat",
+        "controll": "control",
+        "roll": "roll",
+    }
+
+    def test_known_cases(self):
+        stemmer = PorterStemmer()
+        failures = {
+            word: (stemmer.stem(word), expected)
+            for word, expected in self.CASES.items()
+            if stemmer.stem(word) != expected
+        }
+        assert not failures
+
+    def test_short_words_untouched(self):
+        stemmer = PorterStemmer()
+        for word in ("a", "is", "by"):
+            assert stemmer.stem(word) == word
+
+    def test_morphological_variants_collapse(self):
+        stemmer = PorterStemmer()
+        stems = {stemmer.stem(w)
+                 for w in ("review", "reviews", "reviewing", "reviewed")}
+        assert len(stems) == 1
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"),
+                   min_size=1, max_size=20))
+    def test_idempotent_on_own_output_never_grows(self, word):
+        stemmer = PorterStemmer()
+        stemmed = stemmer.stem(word)
+        assert len(stemmed) <= len(word)
+        assert stemmed  # never empties a word
+
+
+class TestAnalyzer:
+    def test_pipeline(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("The latest reviews of the games") == \
+            ["latest", "review", "game"]
+
+    def test_stopwords_disabled(self):
+        analyzer = Analyzer(use_stopwords=False)
+        assert "the" in analyzer.analyze("the game")
+
+    def test_stemming_disabled(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze("reviews games") == ["reviews", "games"]
+
+    def test_positions_skip_stopwords_but_keep_indices(self):
+        analyzer = Analyzer()
+        pairs = analyzer.analyze_with_positions("the game of the year")
+        # tokens: the(0) game(1) of(2) the(3) year(4)
+        assert pairs == [("game", 1), ("year", 4)]
+
+    def test_stopword_set_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)

@@ -1,0 +1,130 @@
+"""Tests for the supplemental-source circuit breaker."""
+
+import pytest
+
+from repro.core.runtime import CircuitBreaker
+from repro.util import SimClock
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_after_threshold(self):
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=3,
+                                 cooldown_ms=1000)
+        for __ in range(2):
+            breaker.record_failure("s")
+            assert not breaker.is_open("s")
+        breaker.record_failure("s")
+        assert breaker.is_open("s")
+        assert breaker.state("s") == "open"
+
+    def test_success_resets_counter(self):
+        breaker = CircuitBreaker(SimClock(), failure_threshold=2)
+        breaker.record_failure("s")
+        breaker.record_success("s")
+        breaker.record_failure("s")
+        assert not breaker.is_open("s")
+        assert breaker.state("s") == "degraded"
+
+    def test_half_open_after_cooldown(self):
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 cooldown_ms=1000)
+        breaker.record_failure("s")
+        assert breaker.is_open("s")
+        clock.advance(1000)
+        assert not breaker.is_open("s")  # probe allowed
+        # Probe fails -> circuit re-opens immediately.
+        breaker.record_failure("s")
+        assert breaker.is_open("s")
+
+    def test_probe_success_closes(self):
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 cooldown_ms=1000)
+        breaker.record_failure("s")
+        clock.advance(1000)
+        assert not breaker.is_open("s")
+        breaker.record_success("s")
+        assert breaker.state("s") == "closed"
+
+    def test_sources_independent(self):
+        breaker = CircuitBreaker(SimClock(), failure_threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(SimClock(), failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(SimClock(), cooldown_ms=0)
+
+
+class TestCircuitBreakerIntegration:
+    @pytest.fixture()
+    def flaky_platform(self, tiny_web):
+        from repro.core.platform import Symphony
+        from repro.core.runtime import CircuitBreaker
+        from repro.services.bus import ServiceBus
+        from repro.services.samples import PricingService
+        from tests.conftest import make_inventory_csv
+
+        symphony = Symphony(web=tiny_web, use_authority=False)
+        symphony.bus = ServiceBus(clock=symphony.clock,
+                                  failure_probability=1.0, seed=21)
+        symphony.bus.register(PricingService())
+        symphony.runtime.circuit_breaker = CircuitBreaker(
+            symphony.clock, failure_threshold=2, cooldown_ms=60_000)
+        account = symphony.register_designer("Ann")
+        games = symphony.web.entities["video_games"][:3]
+        symphony.upload_http(account, "inv.csv",
+                             make_inventory_csv(games), "inventory",
+                             content_type="text/csv")
+        inventory = symphony.add_proprietary_source(
+            account, "inventory", ("title",))
+        pricing = symphony.add_service_source(
+            "Pricing", "pricing", "GET /prices/{sku}", "sku")
+        session = symphony.designer().new_application(
+            "Shop", account.tenant.tenant_id)
+        slot = session.drag_source_onto_app(
+            inventory.source_id, search_fields=("title",))
+        session.add_text(slot, "title")
+        session.drag_source_onto_result_layout(
+            slot, pricing.source_id, drive_fields=("title",))
+        app_id = symphony.host(session)
+        return symphony, app_id, games, pricing
+
+    def test_circuit_opens_and_skips_calls(self, flaky_platform):
+        symphony, app_id, games, pricing = flaky_platform
+        before = symphony.bus.stats("pricing").calls
+        # Two failing queries trip the breaker (threshold 2; each
+        # query makes 1 call since there is one matching title).
+        symphony.query(app_id, games[0])
+        symphony.query(app_id, games[1])
+        tripped_at = symphony.bus.stats("pricing").calls
+        assert tripped_at > before
+        response = symphony.query(app_id, games[2])
+        assert symphony.bus.stats("pricing").calls == tripped_at
+        assert any("circuit open" in w
+                   for w in response.trace.warnings)
+
+    def test_circuit_recovers_after_cooldown(self, flaky_platform):
+        symphony, app_id, games, pricing = flaky_platform
+        symphony.query(app_id, games[0])
+        symphony.query(app_id, games[1])
+        assert symphony.runtime.circuit_breaker.state(
+            pricing.source_id) == "open"
+        # Service recovers; cooldown elapses; probe succeeds.
+        from repro.services.bus import ServiceBus
+        from repro.services.samples import PricingService
+        healthy = ServiceBus(clock=symphony.clock)
+        healthy.register(PricingService())
+        pricing._bus = healthy
+        symphony.clock.advance(60_000)
+        response = symphony.query(app_id, games[0])
+        supplemental = list(
+            response.views[0].supplemental.values())[0]
+        assert supplemental.items
+        assert symphony.runtime.circuit_breaker.state(
+            pricing.source_id) == "closed"

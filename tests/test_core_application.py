@@ -1,0 +1,149 @@
+"""Tests for the declarative application definition model."""
+
+import json
+
+import pytest
+
+from repro.core.application import (
+    ApplicationDefinition,
+    ElementKind,
+    LayoutElement,
+    ResultLayout,
+    SourceBinding,
+    SourceRole,
+    SourceSlot,
+)
+from repro.errors import ConfigurationError, ValidationError
+
+
+def primary_binding(binding_id="b1", source_id="s1", **kw):
+    return SourceBinding(binding_id=binding_id, source_id=source_id,
+                         role=SourceRole.PRIMARY, **kw)
+
+
+def supplemental_binding(binding_id="b2", source_id="s2",
+                         drive_fields=("title",), **kw):
+    return SourceBinding(binding_id=binding_id, source_id=source_id,
+                         role=SourceRole.SUPPLEMENTAL,
+                         drive_fields=drive_fields, **kw)
+
+
+def make_app(**overrides):
+    layout = ResultLayout((
+        LayoutElement(ElementKind.HYPERLINK, "title",
+                      href_field="detail_url"),
+        LayoutElement(ElementKind.IMAGE, "image_url"),
+        LayoutElement(ElementKind.TEXT, "description",
+                      style={"color": "#444"}),
+    ))
+    slots = (SourceSlot(
+        binding_id="b1", heading="Games", result_layout=layout,
+        children=(SourceSlot(binding_id="b2", heading="Reviews"),),
+    ),)
+    fields = dict(
+        app_id="app-1", name="GamerQueen", owner_tenant="tenant-1",
+        bindings=(primary_binding(), supplemental_binding()),
+        slots=slots,
+    )
+    fields.update(overrides)
+    return ApplicationDefinition(**fields)
+
+
+class TestBindings:
+    def test_supplemental_requires_drive_fields(self):
+        with pytest.raises(ValidationError):
+            SourceBinding("b", "s", SourceRole.SUPPLEMENTAL)
+
+    def test_max_results_positive(self):
+        with pytest.raises(ValidationError):
+            SourceBinding("b", "s", SourceRole.PRIMARY, max_results=0)
+
+    def test_roundtrip(self):
+        binding = supplemental_binding(query_suffix="review",
+                                       max_results=3)
+        assert SourceBinding.from_dict(binding.to_dict()) == binding
+
+
+class TestValidation:
+    def test_valid_app_passes(self):
+        make_app().validate()
+
+    def test_missing_primary_rejected(self):
+        app = make_app(
+            bindings=(supplemental_binding(),),
+            slots=(SourceSlot(binding_id="b2"),),
+        )
+        with pytest.raises(ConfigurationError, match="primary"):
+            app.validate()
+
+    def test_slot_referencing_unknown_binding(self):
+        app = make_app(slots=(SourceSlot(binding_id="ghost"),))
+        with pytest.raises(ConfigurationError):
+            app.validate()
+
+    def test_duplicate_binding_ids(self):
+        app = make_app(bindings=(primary_binding(),
+                                 primary_binding()))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            app.validate()
+
+    def test_primary_without_slot_rejected(self):
+        app = make_app(
+            bindings=(primary_binding(),
+                      primary_binding(binding_id="b9", source_id="s9")),
+            slots=(SourceSlot(binding_id="b1"),),
+        )
+        with pytest.raises(ConfigurationError, match="top-level"):
+            app.validate()
+
+    def test_nested_slot_must_be_supplemental(self):
+        # b2 exists but is an ads binding; nesting it under b1 is invalid.
+        ads = SourceBinding("b2", "s2", SourceRole.ADS)
+        app = make_app(bindings=(primary_binding(), ads))
+        with pytest.raises(ConfigurationError, match="supplemental"):
+            app.validate()
+
+    def test_binding_lookup(self):
+        app = make_app()
+        assert app.binding("b1").role == SourceRole.PRIMARY
+        with pytest.raises(ConfigurationError):
+            app.binding("missing")
+
+    def test_bindings_by_role(self):
+        app = make_app()
+        assert [b.binding_id
+                for b in app.bindings_by_role(SourceRole.PRIMARY)] == \
+            ["b1"]
+
+
+class TestSlots:
+    def test_walk_depth_first(self):
+        app = make_app()
+        ids = [slot.binding_id for slot in app.all_slots()]
+        assert ids == ["b1", "b2"]
+
+    def test_slot_roundtrip(self):
+        slot = make_app().slots[0]
+        assert SourceSlot.from_dict(slot.to_dict()) == slot
+
+
+class TestSerialization:
+    def test_full_json_roundtrip(self):
+        app = make_app(theme="midnight",
+                       settings={"results_per_page": 10},
+                       description="video game store")
+        payload = json.dumps(app.to_dict())
+        restored = ApplicationDefinition.from_dict(json.loads(payload))
+        assert restored == app
+
+    def test_element_style_preserved(self):
+        app = make_app()
+        restored = ApplicationDefinition.from_dict(app.to_dict())
+        text_element = restored.slots[0].result_layout.elements[2]
+        assert text_element.style == {"color": "#444"}
+
+    def test_element_roundtrip_all_kinds(self):
+        for kind in ElementKind:
+            element = LayoutElement(kind, "f", href_field="h",
+                                    css_class="c", style={"x": "y"})
+            assert LayoutElement.from_dict(element.to_dict()) == element

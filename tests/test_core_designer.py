@@ -1,0 +1,197 @@
+"""Tests for the designer (Fig. 1 as an API)."""
+
+import pytest
+
+from repro.core.application import ElementKind, SourceRole
+from repro.core.datasources import (
+    CustomerProfileSource,
+    ProprietaryTableSource,
+    SourceRegistry,
+    WebSearchSource,
+)
+from repro.core.designer import Designer
+from repro.core.presentation import ThemeRegistry
+from repro.errors import ConfigurationError, NotFoundError, ValidationError
+from repro.storage.records import FieldSpec, FieldType, RecordTable, Schema
+from repro.util import IdGenerator
+
+
+@pytest.fixture()
+def registry(engine):
+    registry = SourceRegistry()
+    schema = Schema((
+        FieldSpec("title", FieldType.STRING),
+        FieldSpec("description", FieldType.TEXT),
+        FieldSpec("image_url", FieldType.URL),
+    ))
+    table = RecordTable("inventory", schema)
+    table.insert({"title": "Halo Odyssey",
+                  "description": "classic shooter",
+                  "image_url": "http://img.example/1.jpg"})
+    registry.add(ProprietaryTableSource(
+        "inv", "Inventory", table, ("title", "description")
+    ))
+    registry.add(WebSearchSource("web", "Web search", engine, "web"))
+    registry.add(CustomerProfileSource("cust", "Customers"))
+    return registry
+
+
+@pytest.fixture()
+def designer(registry):
+    return Designer(registry, ThemeRegistry(), IdGenerator())
+
+
+@pytest.fixture()
+def session(designer):
+    return designer.new_application("GamerQueen", "tenant-1")
+
+
+class TestPalette:
+    def test_palette_lists_all_sources(self, session):
+        names = {entry["name"] for entry in session.palette()}
+        assert names == {"Inventory", "Web search", "Customers"}
+
+    def test_palette_entries_carry_fields(self, session):
+        entry = next(e for e in session.palette()
+                     if e["name"] == "Inventory")
+        assert "title" in entry["fields"]
+
+
+class TestDragAndDrop:
+    def test_primary_drop(self, session):
+        slot = session.drag_source_onto_app("inv", heading="Games")
+        assert slot.role == SourceRole.PRIMARY
+        assert slot.heading == "Games"
+
+    def test_unknown_source_rejected(self, session):
+        with pytest.raises(NotFoundError):
+            session.drag_source_onto_app("ghost")
+
+    def test_bad_search_field_rejected(self, session):
+        with pytest.raises(ConfigurationError):
+            session.drag_source_onto_app("inv",
+                                         search_fields=("nope",))
+
+    def test_supplemental_drop_validates_drive_fields(self, session):
+        slot = session.drag_source_onto_app("inv")
+        child = session.drag_source_onto_result_layout(
+            slot, "web", drive_fields=("title",)
+        )
+        assert child.role == SourceRole.SUPPLEMENTAL
+        with pytest.raises(ConfigurationError):
+            session.drag_source_onto_result_layout(
+                slot, "web", drive_fields=("not_a_field",)
+            )
+        with pytest.raises(ValidationError):
+            session.drag_source_onto_result_layout(
+                slot, "web", drive_fields=()
+            )
+
+    def test_customer_source_attachment(self, session):
+        session.attach_customer_source("cust")
+        with pytest.raises(ConfigurationError):
+            session.attach_customer_source("web")
+
+
+class TestElements:
+    def test_add_elements(self, session):
+        slot = session.drag_source_onto_app("inv")
+        session.add_hyperlink(slot, "title")
+        session.add_image(slot, "image_url")
+        session.add_text(slot, "description", color="#333",
+                         font_size="12px")
+        kinds = [e.kind for e in slot.elements]
+        assert kinds == [ElementKind.HYPERLINK, ElementKind.IMAGE,
+                         ElementKind.TEXT]
+        assert slot.elements[2].style == {"color": "#333",
+                                          "font-size": "12px"}
+
+    def test_unknown_bind_field_rejected(self, session):
+        slot = session.drag_source_onto_app("inv")
+        with pytest.raises(ConfigurationError):
+            session.add_text(slot, "no_such_field")
+
+    def test_common_fields_always_bindable(self, session):
+        slot = session.drag_source_onto_app("inv")
+        session.add_text(slot, "title")
+        session.add_hyperlink(slot, "title", href_field="url")
+
+
+class TestPresentationGestures:
+    def test_apply_template(self, session):
+        session.apply_template("midnight")
+        assert session.theme == "midnight"
+        with pytest.raises(NotFoundError):
+            session.apply_template("nonexistent")
+
+    def test_wizard_sets_theme(self, session):
+        recommendation = session.run_wizard(tone="dark",
+                                            accent_color="#ff0000")
+        assert session.theme == "midnight"
+        assert recommendation["element_styles"]["heading"]["color"] == \
+            "#ff0000"
+
+
+class TestValidateAndBuild:
+    def test_empty_canvas_is_error(self, session):
+        issues = session.validate()
+        assert any(i.severity == "error" for i in issues)
+        with pytest.raises(ConfigurationError):
+            session.build()
+
+    def test_warning_for_missing_elements(self, session):
+        session.drag_source_onto_app("inv", search_fields=("title",))
+        issues = session.validate()
+        assert any("no elements" in i.message for i in issues)
+
+    def test_warning_for_missing_search_fields(self, session):
+        slot = session.drag_source_onto_app("inv")
+        session.add_text(slot, "title")
+        issues = session.validate()
+        assert any("search fields" in i.message for i in issues)
+
+    def test_build_produces_valid_definition(self, session):
+        slot = session.drag_source_onto_app(
+            "inv", heading="Games", search_fields=("title",)
+        )
+        session.add_hyperlink(slot, "title")
+        session.drag_source_onto_result_layout(
+            slot, "web", drive_fields=("title",),
+            query_suffix="review",
+        )
+        session.attach_customer_source("cust")
+        app = session.build()
+        app.validate()
+        assert len(app.bindings) == 3  # primary + supplemental + customer
+        assert app.bindings_by_role(SourceRole.CUSTOMER)
+        child = app.slots[0].children[0]
+        assert app.binding(child.binding_id).query_suffix == "review"
+
+    def test_build_is_reproducible_json(self, session):
+        slot = session.drag_source_onto_app("inv",
+                                            search_fields=("title",))
+        session.add_text(slot, "title")
+        app = session.build()
+        from repro.core.application import ApplicationDefinition
+        assert ApplicationDefinition.from_dict(app.to_dict()) == app
+
+
+class TestCanvasDescription:
+    def test_describe_shows_structure(self, session):
+        slot = session.drag_source_onto_app(
+            "inv", heading="Games", search_fields=("title",)
+        )
+        session.add_hyperlink(slot, "title")
+        session.drag_source_onto_result_layout(
+            slot, "web", drive_fields=("title",), heading="Reviews",
+            query_suffix="review",
+        )
+        canvas = session.describe_canvas()
+        assert "[Palette]" in canvas
+        assert "[primary] Games" in canvas
+        assert "search by: title" in canvas
+        assert 'driven by: title + "review"' in canvas
+        assert "element: hyperlink(title)" in canvas
+
+    def test_empty_canvas_hint(self, session):
+        assert "drag a data source" in session.describe_canvas()

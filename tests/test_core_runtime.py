@@ -1,0 +1,321 @@
+"""Tests for the query-execution runtime (Fig. 2)."""
+
+import pytest
+
+from repro.core.datasources import (
+    DataSource,
+    SourceItem,
+    SourceKind,
+    SourceQuery,
+    SourceRegistry,
+    SourceResult,
+    CustomerProfileSource,
+)
+from repro.core.application import (
+    ApplicationDefinition,
+    ElementKind,
+    LayoutElement,
+    ResultLayout,
+    SourceBinding,
+    SourceRole,
+    SourceSlot,
+)
+from repro.core.runtime import (
+    ApplicationRegistry,
+    QueryRequest,
+    ResultCache,
+    SymphonyRuntime,
+)
+from repro.errors import NotFoundError, ServiceError
+from repro.searchengine.logs import QueryLog
+from repro.util import SimClock
+
+
+class StubSource(DataSource):
+    """Programmable source for pipeline tests."""
+
+    def __init__(self, source_id, items_for=None, fail=False,
+                 latency_recorder=None):
+        super().__init__(source_id, source_id, SourceKind.PROPRIETARY)
+        self.items_for = items_for or {}
+        self.fail = fail
+        self.queries: list[str] = []
+
+    def fields(self):
+        return ["title", "url"]
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        self.queries.append(query.text)
+        if self.fail:
+            raise ServiceError(f"{self.source_id} is down")
+        items = self.items_for.get(query.text, ())
+        return SourceResult(self.source_id, tuple(items[:query.count]),
+                            len(items))
+
+
+def make_item(title, url="", **fields):
+    return SourceItem(item_id=title, title=title,
+                      url=url or f"http://x.example/{title}",
+                      fields=fields)
+
+
+def build_app(children_bindings=(), customer=False, ads=False):
+    bindings = [SourceBinding("bp", "primary", SourceRole.PRIMARY,
+                              max_results=5)]
+    child_slots = []
+    for binding in children_bindings:
+        bindings.append(binding)
+        child_slots.append(SourceSlot(binding_id=binding.binding_id))
+    if customer:
+        bindings.append(SourceBinding("bc", "customer",
+                                      SourceRole.CUSTOMER))
+    slots = [SourceSlot(
+        binding_id="bp", heading="Main",
+        result_layout=ResultLayout((
+            LayoutElement(ElementKind.TEXT, "title"),
+        )),
+        children=tuple(child_slots),
+    )]
+    if ads:
+        bindings.append(SourceBinding("ba", "ads", SourceRole.ADS))
+        slots.append(SourceSlot(binding_id="ba"))
+    return ApplicationDefinition(
+        app_id="app-1", name="Test", owner_tenant="t1",
+        bindings=tuple(bindings), slots=tuple(slots),
+    )
+
+
+def make_runtime(sources, app, log=None, cache_enabled=True):
+    registry = SourceRegistry()
+    for source in sources:
+        registry.add(source)
+    apps = ApplicationRegistry()
+    apps.register(app)
+    return SymphonyRuntime(
+        registry=registry, apps=apps, clock=SimClock(start_ms=0),
+        log=log, cache_enabled=cache_enabled,
+    )
+
+
+class TestPipelineStages:
+    def test_stage_sequence_matches_fig2(self):
+        primary = StubSource("primary",
+                             {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app())
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        names = [stage.name for stage in response.trace.stages]
+        assert names == ["receive", "primary", "supplemental",
+                         "merge+render", "respond"]
+
+    def test_primary_results_become_views(self):
+        primary = StubSource("primary", {
+            "halo": [make_item("Halo 1"), make_item("Halo 2")],
+        })
+        runtime = make_runtime([primary], build_app())
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert [v.item.title for v in response.views] == \
+            ["Halo 1", "Halo 2"]
+        assert "Halo 1" in response.html
+
+    def test_supplemental_driven_by_primary_fields(self):
+        primary = StubSource("primary", {
+            "halo": [make_item("Halo Odyssey")],
+        })
+        supp = StubSource("reviews", {
+            '"Halo Odyssey" review': [make_item("A review")],
+        })
+        binding = SourceBinding("bs", "reviews",
+                                SourceRole.SUPPLEMENTAL,
+                                drive_fields=("title",),
+                                query_suffix="review")
+        runtime = make_runtime([primary, supp],
+                               build_app((binding,)))
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert supp.queries == ['"Halo Odyssey" review']
+        view = response.views[0]
+        assert view.supplemental["bs"].items[0].title == "A review"
+
+    def test_supplemental_suffix_fallback_on_empty(self):
+        primary = StubSource("primary", {
+            "halo": [make_item("Halo Odyssey")],
+        })
+        supp = StubSource("reviews", {
+            '"Halo Odyssey"': [make_item("General page")],
+        })
+        binding = SourceBinding("bs", "reviews",
+                                SourceRole.SUPPLEMENTAL,
+                                drive_fields=("title",),
+                                query_suffix="review")
+        runtime = make_runtime([primary, supp],
+                               build_app((binding,)))
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert supp.queries == ['"Halo Odyssey" review',
+                                '"Halo Odyssey"']
+        assert response.views[0].supplemental["bs"].items
+
+    def test_missing_drive_field_warns_and_continues(self):
+        primary = StubSource("primary", {
+            "halo": [SourceItem(item_id="x", title="")],  # empty title
+        })
+        supp = StubSource("reviews")
+        binding = SourceBinding("bs", "reviews",
+                                SourceRole.SUPPLEMENTAL,
+                                drive_fields=("title",))
+        runtime = make_runtime([primary, supp],
+                               build_app((binding,)))
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert response.trace.warnings
+        assert supp.queries == []
+        assert response.views[0].supplemental["bs"].items == ()
+
+    def test_supplemental_failure_isolated(self):
+        primary = StubSource("primary", {
+            "halo": [make_item("Halo")],
+        })
+        broken = StubSource("broken", fail=True)
+        binding = SourceBinding("bs", "broken",
+                                SourceRole.SUPPLEMENTAL,
+                                drive_fields=("title",))
+        runtime = make_runtime([primary, broken],
+                               build_app((binding,)))
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert response.views  # app still answered
+        assert any("broken" in w for w in response.trace.warnings)
+
+    def test_unknown_app_raises(self):
+        runtime = make_runtime([StubSource("primary")], build_app())
+        with pytest.raises(NotFoundError):
+            runtime.handle_query(QueryRequest("ghost", "halo"))
+
+    def test_total_time_is_sum_of_stages(self):
+        primary = StubSource("primary", {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app())
+        trace = runtime.handle_query(
+            QueryRequest("app-1", "halo")
+        ).trace
+        assert trace.total_ms() == pytest.approx(
+            sum(s.elapsed_ms for s in trace.stages)
+        )
+
+    def test_clock_advances_with_pipeline(self):
+        primary = StubSource("primary", {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app())
+        before = runtime.clock.now_ms
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert runtime.clock.now_ms > before
+
+
+class TestCustomerRewrite:
+    def make(self):
+        primary = StubSource("primary")
+        customer = CustomerProfileSource("customer", "Customers")
+        customer.set_profile("u1", ("rpg",))
+        runtime = make_runtime(
+            [primary, customer], build_app(customer=True)
+        )
+        return runtime, primary
+
+    def test_rewrite_applied_for_known_customer(self):
+        runtime, primary = self.make()
+        runtime.handle_query(QueryRequest("app-1", "halo",
+                                          customer_id="u1"))
+        assert "rpg" in primary.queries[0]
+
+    def test_no_rewrite_for_unknown_customer(self):
+        runtime, primary = self.make()
+        runtime.handle_query(QueryRequest("app-1", "halo",
+                                          customer_id="u2"))
+        assert primary.queries[0] == "halo"
+
+    def test_rewrite_stage_present(self):
+        runtime, __ = self.make()
+        trace = runtime.handle_query(
+            QueryRequest("app-1", "halo", customer_id="u1")
+        ).trace
+        assert trace.stage("customer-rewrite")
+
+
+class TestCaching:
+    def make(self, cache_enabled=True):
+        primary = StubSource("primary", {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app(),
+                               cache_enabled=cache_enabled)
+        return runtime, primary
+
+    def test_repeat_query_served_from_cache(self):
+        runtime, primary = self.make()
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        response = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert len(primary.queries) == 1
+        assert response.trace.cache_hits == 1
+        assert response.views[0].item.title == "Halo"
+
+    def test_cache_disabled_queries_every_time(self):
+        runtime, primary = self.make(cache_enabled=False)
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert len(primary.queries) == 2
+
+    def test_cached_repeat_is_faster(self):
+        runtime, __ = self.make()
+        first = runtime.handle_query(QueryRequest("app-1", "halo"))
+        second = runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert second.trace.total_ms() < first.trace.total_ms()
+
+    def test_ttl_expiry(self):
+        runtime, primary = self.make()
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        runtime.clock.advance(runtime.cache.ttl_ms + 1)
+        runtime.handle_query(QueryRequest("app-1", "halo"))
+        assert len(primary.queries) == 2
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1, now_ms=0)
+        cache.put("b", 2, now_ms=0)
+        cache.get("a", now_ms=0)   # refresh a
+        cache.put("c", 3, now_ms=0)  # evicts b
+        assert cache.get("b", now_ms=0) is None
+        assert cache.get("a", now_ms=0) == 1
+        assert len(cache) == 2
+
+
+class TestLoggingIntegration:
+    def test_app_query_logged(self):
+        log = QueryLog()
+        primary = StubSource("primary", {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app(), log=log)
+        runtime.handle_query(QueryRequest("app-1", "halo",
+                                          session_id="s1"))
+        event = log.queries[-1]
+        assert event.app_id == "app-1"
+        assert event.vertical == "app"
+        assert event.session_id == "s1"
+        assert event.result_urls
+
+
+class TestApplicationRegistry:
+    def test_register_validates(self):
+        apps = ApplicationRegistry()
+        bad = ApplicationDefinition(app_id="a", name="n",
+                                    owner_tenant="t")
+        with pytest.raises(Exception):
+            apps.register(bad)
+
+    def test_unregister(self):
+        apps = ApplicationRegistry()
+        apps.register(build_app())
+        apps.unregister("app-1")
+        with pytest.raises(NotFoundError):
+            apps.get("app-1")
+        with pytest.raises(NotFoundError):
+            apps.unregister("app-1")
+
+    def test_trace_describe_readable(self):
+        primary = StubSource("primary", {"halo": [make_item("Halo")]})
+        runtime = make_runtime([primary], build_app())
+        trace = runtime.handle_query(
+            QueryRequest("app-1", "halo")
+        ).trace
+        text = trace.describe()
+        assert "receive" in text and "TOTAL" in text

@@ -1,0 +1,70 @@
+"""Doctest execution and whole-library contract checks."""
+
+import doctest
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors as errors_module
+from repro.errors import ReproError
+
+DOCTEST_MODULES = (
+    "repro.util",
+    "repro.searchengine.analysis",
+)
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestLibraryContracts:
+    def test_every_module_imports(self):
+        modules = list(_walk_modules())
+        assert len(modules) > 40
+
+    def test_every_custom_exception_is_a_repro_error(self):
+        for name, obj in vars(errors_module).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception) \
+                    and obj.__module__ == "repro.errors":
+                assert issubclass(obj, ReproError), name
+
+    def test_every_public_module_has_docstring(self):
+        for module in _walk_modules():
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_every_public_class_has_docstring(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isclass(obj) \
+                        and obj.__module__ == module.__name__ \
+                        and not obj.__doc__:
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, missing
+
+    def test_dunder_all_entries_resolve(self):
+        for module in _walk_modules():
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                continue
+            for name in exported:
+                assert hasattr(module, name), \
+                    f"{module.__name__}.__all__ lists missing {name}"
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,147 @@
+"""Tests for the search-engine facade: verticals, options, logging."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.searchengine.engine import (
+    SearchOptions,
+    Vertical,
+    build_engine,
+)
+from repro.simweb.vocab import topic_vocabulary
+
+
+@pytest.fixture()
+def fresh_engine(small_web):
+    """A private engine instance (tests here mutate the log/clock)."""
+    return build_engine(small_web)
+
+
+class TestBasicSearch:
+    def test_returns_ranked_results(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        response = engine.search("web", entity)
+        assert response.total_matches > 0
+        scores = [r.score for r in response.results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_result_shape(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        result = engine.search("web", entity).results[0]
+        assert result.url.startswith("http://")
+        assert result.title
+        assert result.site
+        assert result.vertical == "web"
+
+    def test_count_and_offset_page_through(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        first = engine.search("web", entity, SearchOptions(count=3))
+        second = engine.search(
+            "web", entity, SearchOptions(count=3, offset=3)
+        )
+        assert len(first.results) == 3
+        assert not set(first.urls()) & set(second.urls())
+
+    def test_unknown_vertical_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("maps", "halo")
+
+    def test_bad_query_raises(self, engine):
+        with pytest.raises(QueryError):
+            engine.search("web", "   ")
+
+    def test_all_verticals_answer(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        for vertical in Vertical:
+            response = engine.search(vertical, entity.split()[0])
+            assert response.vertical == vertical.value
+
+
+class TestSiteRestriction:
+    def test_results_confined_to_sites(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        sites = ("gamespot.com", "ign.com")
+        response = engine.search(
+            "web", f'"{entity}"', SearchOptions(count=10, sites=sites)
+        )
+        assert response.total_matches > 0
+        assert {r.site for r in response.results} <= set(sites)
+
+    def test_every_entity_found_on_review_sites(self, engine, small_web):
+        """The §II-B promise: focused review search works per title."""
+        sites = tuple(topic_vocabulary("video_games").sites[:3])
+        for entity in small_web.entities["video_games"][:10]:
+            response = engine.search(
+                "web", f'"{entity}" review',
+                SearchOptions(count=5, sites=sites),
+            )
+            assert response.total_matches > 0, entity
+
+    def test_exclude_sites(self, engine, small_web):
+        entity = small_web.entities["video_games"][0]
+        everywhere = engine.search("web", f'"{entity}"',
+                                   SearchOptions(count=30))
+        top_site = everywhere.results[0].site
+        excluded = engine.search(
+            "web", f'"{entity}"',
+            SearchOptions(count=30, exclude_sites=(top_site,)),
+        )
+        assert top_site not in {r.site for r in excluded.results}
+        assert excluded.total_matches < everywhere.total_matches
+
+
+class TestOptions:
+    def test_augment_terms_narrow(self, engine):
+        broad = engine.search("web", "game", SearchOptions(count=50))
+        narrowed = engine.search(
+            "web", "game",
+            SearchOptions(count=50, augment_terms=("review",)),
+        )
+        assert narrowed.total_matches <= broad.total_matches
+
+    def test_freshness_window(self, fresh_engine):
+        all_news = fresh_engine.search("news", "breaking OR report",
+                                       SearchOptions(count=50))
+        recent = fresh_engine.search(
+            "news", "breaking OR report",
+            SearchOptions(count=50, freshness_days=30),
+        )
+        assert recent.total_matches <= all_news.total_matches
+
+
+class TestRankingBehaviour:
+    def test_authority_prior_affects_web_order(self, small_web):
+        with_prior = build_engine(small_web, use_authority=True)
+        without = build_engine(small_web, use_authority=False)
+        entity = small_web.entities["video_games"][1]
+        a = with_prior.search("web", entity, SearchOptions(count=10))
+        b = without.search("web", entity, SearchOptions(count=10))
+        assert a.total_matches == b.total_matches  # same candidates
+
+    def test_news_prefers_recent_on_equal_relevance(self, fresh_engine,
+                                                    small_web):
+        response = fresh_engine.search("news", "report OR statement",
+                                       SearchOptions(count=20))
+        assert response.total_matches > 0
+
+
+class TestLatencyAndLogging:
+    def test_clock_advances(self, fresh_engine):
+        before = fresh_engine.clock.now_ms
+        response = fresh_engine.search("web", "game")
+        assert fresh_engine.clock.now_ms > before
+        assert response.elapsed_ms > 0
+
+    def test_queries_logged_with_app_id(self, fresh_engine):
+        fresh_engine.search("web", "game", app_id="app-1",
+                            session_id="s-1")
+        event = fresh_engine.log.queries[-1]
+        assert event.app_id == "app-1"
+        assert event.session_id == "s-1"
+        assert event.query == "game"
+        assert event.result_urls
+
+    def test_latency_grows_with_candidates(self, fresh_engine):
+        rare = fresh_engine.search("web", '"combat evolved zzz"')
+        common = fresh_engine.search("web", "game OR wine OR report")
+        assert common.elapsed_ms >= rare.elapsed_ms

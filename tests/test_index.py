@@ -1,0 +1,186 @@
+"""Tests for the positional inverted index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DuplicateError, NotFoundError
+from repro.searchengine.analysis import Analyzer
+from repro.searchengine.documents import FieldedDocument, FieldMode
+from repro.searchengine.index import InvertedIndex
+
+
+def make_index(**field_modes):
+    return InvertedIndex(Analyzer(), field_modes=field_modes)
+
+
+def doc(doc_id, **fields):
+    return FieldedDocument(doc_id=doc_id, fields=fields)
+
+
+class TestLifecycle:
+    def test_add_and_len(self):
+        index = make_index()
+        index.add(doc("d1", title="hello world"))
+        assert len(index) == 1
+        assert "d1" in index
+
+    def test_duplicate_add_rejected(self):
+        index = make_index()
+        index.add(doc("d1", title="x"))
+        with pytest.raises(DuplicateError):
+            index.add(doc("d1", title="y"))
+
+    def test_upsert_replaces(self):
+        index = make_index()
+        index.add(doc("d1", title="alpha"))
+        index.upsert(doc("d1", title="beta"))
+        assert not index.postings("title", "alpha")
+        assert "d1" in index.postings("title", "beta")
+
+    def test_remove_clears_postings_and_lengths(self):
+        index = make_index()
+        index.add(doc("d1", title="gamma delta"))
+        index.add(doc("d2", title="gamma"))
+        index.remove("d1")
+        assert "d1" not in index
+        assert list(index.postings("title", "gamma")) == ["d2"]
+        assert index.field_length("title", "d1") == 0
+        assert index.average_field_length("title") == 1.0
+
+    def test_remove_missing(self):
+        with pytest.raises(NotFoundError):
+            make_index().remove("nope")
+
+    def test_document_roundtrip(self):
+        index = make_index()
+        original = doc("d1", title="x", body="y")
+        index.add(original)
+        assert index.document("d1") is original
+
+    def test_none_fields_skipped(self):
+        index = make_index()
+        index.add(FieldedDocument("d1", {"title": None, "body": "real"}))
+        assert index.vocabulary_size("title") == 0
+        assert index.postings("body", "real")
+
+
+class TestTextPostings:
+    def test_positions_recorded(self):
+        index = make_index()
+        index.add(doc("d1", body="alpha beta alpha"))
+        posting = index.postings("body", "alpha")["d1"]
+        assert posting.positions == (0, 2)
+        assert posting.term_frequency == 2
+
+    def test_analysis_applied(self):
+        index = make_index()
+        index.add(doc("d1", body="The Reviews"))
+        assert "d1" in index.postings("body", "review")
+        assert not index.postings("body", "the")
+
+    def test_document_frequency(self):
+        index = make_index()
+        index.add(doc("d1", body="common word"))
+        index.add(doc("d2", body="common other"))
+        assert index.document_frequency("body", "common") == 2
+        assert index.document_frequency("body", "word") == 1
+
+    def test_average_field_length(self):
+        index = make_index()
+        index.add(doc("d1", body="one two three"))
+        index.add(doc("d2", body="one"))
+        assert index.average_field_length("body") == 2.0
+
+    def test_fields_listing(self):
+        index = make_index(site=FieldMode.KEYWORD)
+        index.add(doc("d1", title="x", site="a.example"))
+        assert index.text_fields() == ["title"]
+        assert index.keyword_fields() == ["site"]
+
+
+class TestKeywordFields:
+    def test_exact_match_case_insensitive(self):
+        index = make_index(site=FieldMode.KEYWORD)
+        index.add(doc("d1", site="GameSpot.com"))
+        assert index.keyword_matches("site", "gamespot.com") == {"d1"}
+
+    def test_no_tokenization(self):
+        index = make_index(site=FieldMode.KEYWORD)
+        index.add(doc("d1", site="gamespot.com"))
+        assert index.keyword_matches("site", "gamespot") == set()
+
+    def test_removed_from_keyword_index(self):
+        index = make_index(site=FieldMode.KEYWORD)
+        index.add(doc("d1", site="a.example"))
+        index.remove("d1")
+        assert index.keyword_matches("site", "a.example") == set()
+
+
+class TestPhrases:
+    def test_adjacent_phrase(self):
+        index = make_index()
+        index.add(doc("d1", body="combat evolved again"))
+        index.add(doc("d2", body="evolved combat"))
+        matched = index.phrase_matches(
+            "body", index.analyzer.analyze("combat evolved")
+        )
+        assert matched == {"d1"}
+
+    def test_phrase_tolerates_stopword_gap(self):
+        index = make_index()
+        index.add(doc("d1", body="lord of rings"))
+        matched = index.phrase_matches(
+            "body", index.analyzer.analyze("lord rings")
+        )
+        assert matched == {"d1"}
+
+    def test_single_term_phrase(self):
+        index = make_index()
+        index.add(doc("d1", body="halo"))
+        assert index.phrase_matches("body", ["halo"]) == {"d1"}
+
+    def test_empty_terms(self):
+        assert make_index().phrase_matches("body", []) == set()
+
+    def test_missing_term_short_circuits(self):
+        index = make_index()
+        index.add(doc("d1", body="alpha beta"))
+        assert index.phrase_matches("body", ["alpha", "zzz"]) == set()
+
+
+class TestPropertyBased:
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefg", min_size=1, max_size=6),
+            st.lists(st.sampled_from(
+                ["halo", "game", "review", "wine", "travel", "combat"]
+            ), min_size=1, max_size=8),
+        ),
+        min_size=1, max_size=12, unique_by=lambda pair: pair[0],
+    ))
+    def test_df_equals_docs_containing_term(self, entries):
+        index = make_index()
+        for doc_id, words in entries:
+            index.add(doc(doc_id, body=" ".join(words)))
+        analyzer = index.analyzer
+        for term_source in ("halo", "game", "review"):
+            term = analyzer.analyze(term_source)[0]
+            expected = sum(
+                1 for __, words in entries
+                if term in analyzer.analyze(" ".join(words))
+            )
+            assert index.document_frequency("body", term) == expected
+
+    @given(st.lists(
+        st.sampled_from(["halo", "game", "review", "wine"]),
+        min_size=1, max_size=10,
+    ))
+    def test_add_remove_restores_empty(self, words):
+        index = make_index()
+        index.add(doc("d1", body=" ".join(words)))
+        index.remove("d1")
+        assert len(index) == 0
+        for word in words:
+            term = index.analyzer.analyze(word)[0]
+            assert index.document_frequency("body", term) == 0
+        assert index.average_field_length("body") == 0.0

@@ -1,0 +1,172 @@
+"""Tests for the batched supplemental-derivation mode (DESIGN.md §6)."""
+
+import pytest
+
+from repro.core.application import (
+    ApplicationDefinition,
+    ElementKind,
+    LayoutElement,
+    ResultLayout,
+    SourceBinding,
+    SourceRole,
+    SourceSlot,
+)
+from repro.core.datasources import (
+    DataSource,
+    SourceItem,
+    SourceKind,
+    SourceQuery,
+    SourceRegistry,
+    SourceResult,
+)
+from repro.core.runtime import (
+    ApplicationRegistry,
+    QueryRequest,
+    SymphonyRuntime,
+)
+from repro.util import SimClock
+
+
+class CountingSource(DataSource):
+    """Echo source that records queries and answers per needle."""
+
+    def __init__(self, source_id, corpus):
+        super().__init__(source_id, source_id, SourceKind.WEB)
+        self.corpus = corpus  # list of (title, body)
+        self.queries = []
+
+    def fields(self):
+        return ["title", "url", "snippet"]
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        self.queries.append(query.text)
+        # OR semantics: an item matches if any quoted phrase appears.
+        needles = [part.strip('()" ').lower()
+                   for part in query.text.split(" OR ")]
+        items = []
+        for i, (title, body) in enumerate(self.corpus):
+            haystack = f"{title} {body}".lower()
+            if any(needle and needle.split()[0] in haystack
+                   for needle in needles):
+                items.append(SourceItem(
+                    item_id=f"{self.source_id}:{i}", title=title,
+                    url=f"http://r.example/{i}", snippet=body,
+                ))
+        return SourceResult(self.source_id,
+                            tuple(items[:query.count]), len(items))
+
+
+class FixedPrimary(DataSource):
+    def __init__(self, source_id, titles):
+        super().__init__(source_id, source_id, SourceKind.PROPRIETARY)
+        self.titles = titles
+
+    def fields(self):
+        return ["title"]
+
+    def search(self, query: SourceQuery) -> SourceResult:
+        items = tuple(SourceItem(item_id=t, title=t)
+                      for t in self.titles[:query.count])
+        return SourceResult(self.source_id, items, len(items))
+
+
+def build(mode, titles, corpus):
+    registry = SourceRegistry()
+    primary = FixedPrimary("primary", titles)
+    supp = CountingSource("reviews", corpus)
+    registry.add(primary)
+    registry.add(supp)
+    app = ApplicationDefinition(
+        app_id="app", name="A", owner_tenant="t",
+        bindings=(
+            SourceBinding("bp", "primary", SourceRole.PRIMARY,
+                          max_results=len(titles)),
+            SourceBinding("bs", "reviews", SourceRole.SUPPLEMENTAL,
+                          drive_fields=("title",), max_results=2),
+        ),
+        slots=(SourceSlot(
+            binding_id="bp",
+            result_layout=ResultLayout((
+                LayoutElement(ElementKind.TEXT, "title"),
+            )),
+            children=(SourceSlot(binding_id="bs"),),
+        ),),
+    )
+    apps = ApplicationRegistry()
+    apps.register(app)
+    runtime = SymphonyRuntime(
+        registry=registry, apps=apps, clock=SimClock(start_ms=0),
+        cache_enabled=False, supplemental_mode=mode,
+    )
+    return runtime, supp
+
+
+TITLES = ["Halo Odyssey", "Zelda Legends", "Braid Arena"]
+CORPUS = [
+    ("Halo Odyssey Review", "the definitive halo odyssey verdict"),
+    ("Zelda Legends Guide", "zelda legends walkthrough"),
+    ("Braid Arena Review", "braid arena impressions"),
+    ("Unrelated Wine Piece", "cabernet tasting"),
+]
+
+
+class TestBatchedMode:
+    def test_single_query_issued_per_binding(self):
+        runtime, supp = build("batched", TITLES, CORPUS)
+        runtime.handle_query(QueryRequest("app", "anything"))
+        assert len(supp.queries) == 1
+        assert " OR " in supp.queries[0]
+
+    def test_per_result_mode_issues_one_per_view(self):
+        runtime, supp = build("per_result", TITLES, CORPUS)
+        runtime.handle_query(QueryRequest("app", "anything"))
+        assert len(supp.queries) == len(TITLES)
+
+    def test_batched_results_assigned_to_right_views(self):
+        runtime, __ = build("batched", TITLES, CORPUS)
+        response = runtime.handle_query(QueryRequest("app", "x"))
+        by_title = {view.item.title: view.supplemental["bs"]
+                    for view in response.views}
+        assert by_title["Halo Odyssey"].items[0].title == \
+            "Halo Odyssey Review"
+        assert by_title["Zelda Legends"].items[0].title == \
+            "Zelda Legends Guide"
+        assert by_title["Braid Arena"].items[0].title == \
+            "Braid Arena Review"
+
+    def test_unrelated_items_not_assigned(self):
+        runtime, __ = build("batched", TITLES, CORPUS)
+        response = runtime.handle_query(QueryRequest("app", "x"))
+        for view in response.views:
+            titles = {i.title for i in view.supplemental["bs"].items}
+            assert "Unrelated Wine Piece" not in titles
+
+    def test_trace_labels_batched_stage(self):
+        runtime, __ = build("batched", TITLES, CORPUS)
+        trace = runtime.handle_query(QueryRequest("app", "x")).trace
+        assert "batched" in trace.stage("supplemental").detail
+
+    def test_max_results_respected_per_view(self):
+        corpus = CORPUS + [
+            ("Halo Odyssey Retrospective", "halo odyssey again"),
+            ("Halo Odyssey Speedrun", "halo odyssey record"),
+        ]
+        runtime, __ = build("batched", TITLES, corpus)
+        response = runtime.handle_query(QueryRequest("app", "x"))
+        halo_view = next(v for v in response.views
+                         if v.item.title == "Halo Odyssey")
+        assert len(halo_view.supplemental["bs"].items) == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SymphonyRuntime(registry=SourceRegistry(),
+                            apps=ApplicationRegistry(),
+                            supplemental_mode="quantum")
+
+    def test_modes_agree_on_primary_results(self):
+        per_result, __ = build("per_result", TITLES, CORPUS)
+        batched, __ = build("batched", TITLES, CORPUS)
+        a = per_result.handle_query(QueryRequest("app", "x"))
+        b = batched.handle_query(QueryRequest("app", "x"))
+        assert [v.item.title for v in a.views] == \
+            [v.item.title for v in b.views]

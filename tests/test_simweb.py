@@ -1,0 +1,188 @@
+"""Tests for the synthetic web: vocabularies, model, generator."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.simweb.generator import WebGenerator, WebSpec
+from repro.simweb.model import Page, Site, SyntheticWeb
+from repro.simweb.vocab import TOPICS, topic_vocabulary
+from repro.util import deterministic_rng
+
+
+class TestVocabulary:
+    def test_all_topics_load(self):
+        for topic in TOPICS:
+            vocab = topic_vocabulary(topic)
+            assert vocab.words and vocab.entities and vocab.sites
+
+    def test_unknown_topic(self):
+        with pytest.raises(KeyError):
+            topic_vocabulary("astrology")
+
+    def test_paper_review_sites_present(self):
+        sites = topic_vocabulary("video_games").sites
+        for domain in ("gamespot.com", "ign.com", "teamxbox.com"):
+            assert domain in sites
+
+    def test_sample_words_deterministic(self):
+        vocab = topic_vocabulary("wine")
+        a = vocab.sample_words(deterministic_rng(1), 20)
+        b = vocab.sample_words(deterministic_rng(1), 20)
+        assert a == b
+
+    def test_sample_words_zipf_head_heavy(self):
+        """Early-ranked words should appear more often than tail words."""
+        vocab = topic_vocabulary("movies")
+        words = vocab.sample_words(deterministic_rng(3), 3000)
+        counts = {}
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+        head = counts.get(vocab.words[0], 0)
+        tail = counts.get(vocab.words[-1], 0)
+        assert head > tail
+
+    def test_sentence_shape(self):
+        vocab = topic_vocabulary("travel")
+        sentence = vocab.sample_sentence(deterministic_rng(5))
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+
+    def test_entity_two_part_names(self):
+        vocab = topic_vocabulary("video_games")
+        rng = deterministic_rng(9)
+        names = {vocab.sample_entity(rng) for _ in range(50)}
+        assert any(" " in name for name in names)
+
+
+class TestModel:
+    def _page(self, url="http://a.example/p1", site="a.example",
+              outlinks=()):
+        return Page(url=url, site=site, topic="tech", title="T",
+                    body="b" * 300, outlinks=tuple(outlinks))
+
+    def test_add_and_get(self):
+        web = SyntheticWeb()
+        web.add_site(Site("a.example", "tech", "A"))
+        page = self._page()
+        web.add_page(page)
+        assert web.site("a.example").topic == "tech"
+        assert web.page(page.url) is page
+
+    def test_missing_raises(self):
+        web = SyntheticWeb()
+        with pytest.raises(NotFoundError):
+            web.site("nope.example")
+        with pytest.raises(NotFoundError):
+            web.page("http://nope.example/x")
+
+    def test_snippet_truncates(self):
+        assert len(self._page().snippet) == 180
+
+    def test_link_graph_drops_dangling(self):
+        web = SyntheticWeb()
+        p1 = self._page(url="http://a.example/1",
+                        outlinks=["http://a.example/2",
+                                  "http://gone.example/x"])
+        p2 = self._page(url="http://a.example/2")
+        web.add_page(p1)
+        web.add_page(p2)
+        graph = web.link_graph()
+        assert graph["http://a.example/1"] == ["http://a.example/2"]
+
+    def test_domain_link_graph_excludes_self_links(self):
+        web = SyntheticWeb()
+        web.add_site(Site("a.example", "tech", "A"))
+        web.add_site(Site("b.example", "tech", "B"))
+        web.add_page(self._page(
+            url="http://a.example/1", site="a.example",
+            outlinks=["http://a.example/2", "http://b.example/1"],
+        ))
+        web.add_page(self._page(url="http://a.example/2",
+                                site="a.example"))
+        web.add_page(self._page(url="http://b.example/1",
+                                site="b.example"))
+        graph = web.domain_link_graph()
+        assert graph["a.example"] == {"b.example": 1}
+
+    def test_pages_on(self):
+        web = SyntheticWeb()
+        web.add_page(self._page(url="http://a.example/1",
+                                site="a.example"))
+        web.add_page(self._page(url="http://b.example/1",
+                                site="b.example"))
+        assert len(web.pages_on("a.example")) == 1
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = WebSpec(seed=5, topics=("wine",), extra_sites_per_topic=1,
+                       pages_per_site=4, images_per_site=2,
+                       videos_per_site=1, news_per_site=2)
+        a = WebGenerator(spec).build()
+        b = WebGenerator(spec).build()
+        assert sorted(a.pages) == sorted(b.pages)
+        assert a.stats() == b.stats()
+
+    def test_different_seeds_differ(self):
+        base = dict(topics=("wine",), extra_sites_per_topic=1,
+                    pages_per_site=4, images_per_site=2,
+                    videos_per_site=1, news_per_site=2)
+        a = WebGenerator(WebSpec(seed=1, **base)).build()
+        b = WebGenerator(WebSpec(seed=2, **base)).build()
+        assert sorted(a.pages) != sorted(b.pages)
+
+    def test_counts_match_spec(self, small_web):
+        # 3 topics; each has well-known sites + 1 extra.
+        assert small_web.stats()["sites"] == len(small_web.sites)
+        for site in small_web.sites.values():
+            assert site.topic in ("video_games", "wine", "news")
+
+    def test_entities_recorded_per_topic(self, small_web):
+        assert set(small_web.entities) == {"video_games", "wine", "news"}
+        for pool in small_web.entities.values():
+            assert len(pool) == 30
+            assert len(set(pool)) == 30
+
+    def test_well_known_sites_cover_every_entity(self, small_web):
+        """Every entity must have a page on each well-known site."""
+        from repro.simweb.vocab import topic_vocabulary
+        for topic in ("video_games", "wine"):
+            known = topic_vocabulary(topic).sites
+            for domain in known:
+                covered = {p.entity for p in small_web.pages_on(domain)
+                           if p.entity}
+                assert set(small_web.entities[topic]) <= covered
+
+    def test_entity_pages_mention_review(self, small_web):
+        pages = [p for p in small_web.pages_on("gamespot.com")
+                 if p.url.rstrip("0123456789").endswith("-e")]
+        assert pages
+        assert all("review" in p.body.lower() for p in pages)
+
+    def test_outlinks_wired_and_valid(self, small_web):
+        linked = 0
+        for page in small_web.pages.values():
+            for target in page.outlinks:
+                assert target != page.url
+                linked += 1
+        assert linked > len(small_web.pages)  # densely connected
+
+    def test_published_within_history(self, small_web):
+        spec = WebSpec(seed=7)
+        low = spec.epoch_ms
+        high = spec.epoch_ms + spec.history_days * 86_400_000
+        for page in small_web.pages.values():
+            assert low <= page.published_ms <= high
+
+    def test_well_known_authority_exceeds_average(self, small_web):
+        known = set()
+        for topic in ("video_games", "wine", "news"):
+            known.update(topic_vocabulary(topic).sites)
+        known_scores = [s.authority_hint for s in small_web.sites.values()
+                        if s.domain in known]
+        other_scores = [s.authority_hint for s in small_web.sites.values()
+                        if s.domain not in known]
+        assert known_scores and other_scores
+        assert min(known_scores) >= 0.7
+        assert sum(known_scores) / len(known_scores) > \
+            sum(other_scores) / len(other_scores)

@@ -1,0 +1,201 @@
+"""Tests for application version history, marketplace persistence,
+the autocomplete facade, and a multi-vertical application scenario."""
+
+import pytest
+
+from repro.core.persistence import export_platform, import_platform
+from repro.core.platform import Symphony
+from repro.errors import NotFoundError
+
+from tests.conftest import make_inventory_csv
+
+
+class TestVersionHistory:
+    @pytest.fixture()
+    def hosted(self, symphony, designer_account):
+        sym = symphony
+        games = sym.web.entities["video_games"][:3]
+        sym.upload_http(designer_account, "inv.csv",
+                        make_inventory_csv(games), "inventory",
+                        content_type="text/csv")
+        inventory = sym.add_proprietary_source(
+            designer_account, "inventory", ("title",))
+        session = sym.designer().new_application(
+            "Versioned", designer_account.tenant.tenant_id)
+        slot = session.drag_source_onto_app(inventory.source_id,
+                                            search_fields=("title",))
+        session.add_text(slot, "title")
+        app_id = sym.host(session)
+        return sym, app_id, games
+
+    def test_initial_version_is_one(self, hosted):
+        sym, app_id, __ = hosted
+        assert sym.apps.version(app_id) == 1
+        assert sym.apps.history(app_id) == []
+
+    def test_update_bumps_version_and_keeps_history(self, hosted):
+        sym, app_id, __ = hosted
+        session = sym.designer().edit_application(sym.apps.get(app_id))
+        session.apply_template("midnight")
+        sym.host(session)
+        assert sym.apps.version(app_id) == 2
+        history = sym.apps.history(app_id)
+        assert len(history) == 1
+        assert history[0].theme == "clean"
+
+    def test_identical_reregistration_not_versioned(self, hosted):
+        sym, app_id, __ = hosted
+        sym.apps.register(sym.apps.get(app_id))  # no change
+        assert sym.apps.version(app_id) == 1
+
+    def test_rollback_restores_previous(self, hosted):
+        sym, app_id, games = hosted
+        session = sym.designer().edit_application(sym.apps.get(app_id))
+        session.apply_template("midnight")
+        sym.host(session)
+        restored = sym.apps.rollback(app_id)
+        assert restored.theme == "clean"
+        assert sym.apps.version(app_id) == 1
+        response = sym.query(app_id, games[0])
+        assert "#101418" not in response.html  # midnight gone
+
+    def test_rollback_without_history_rejected(self, hosted):
+        sym, app_id, __ = hosted
+        with pytest.raises(NotFoundError):
+            sym.apps.rollback(app_id)
+
+    def test_unregister_clears_history(self, hosted):
+        sym, app_id, __ = hosted
+        session = sym.designer().edit_application(sym.apps.get(app_id))
+        session.apply_template("midnight")
+        sym.host(session)
+        sym.apps.unregister(app_id)
+        with pytest.raises(NotFoundError):
+            sym.apps.history(app_id)
+
+
+class TestMarketplacePersistence:
+    def test_ads_state_roundtrip(self, symphony, tiny_web):
+        sym = symphony
+        advertiser = sym.ads.create_advertiser("GameCo", 80.0)
+        sym.ads.create_campaign(
+            advertiser.advertiser_id, ["halo", "game"], 0.40,
+            "GameCo", "http://g.example",
+            match_type="phrase", negative_keywords=["free"],
+        )
+        ad = sym.ads.select_ads("halo game deals", "app-1")[0]
+        sym.ads.record_click(ad.ad_id, now_ms=5)
+        earnings = sym.ads.designer_earnings("app-1")
+        assert earnings > 0
+
+        restored = Symphony(web=tiny_web, use_authority=False)
+        import_platform(restored, export_platform(sym))
+        assert restored.ads.designer_earnings("app-1") == earnings
+        advertiser_restored = restored.ads.advertiser(
+            advertiser.advertiser_id)
+        assert advertiser_restored.balance == pytest.approx(
+            sym.ads.advertiser(advertiser.advertiser_id).balance)
+        # Campaign behaviour (phrase match + negative) survives.
+        again = restored.ads.select_ads("play halo game now", "app-2")
+        assert again
+        assert restored.ads.select_ads("free halo game", "app-2") == []
+
+    def test_ledger_identity_preserved(self, symphony, tiny_web):
+        sym = symphony
+        advertiser = sym.ads.create_advertiser("A", 50.0)
+        sym.ads.create_campaign(advertiser.advertiser_id, ["game"],
+                                0.30, "H", "http://a.example")
+        for i in range(4):
+            for ad in sym.ads.select_ads("game", "app-1", now_ms=i):
+                sym.ads.record_click(ad.ad_id, now_ms=i)
+        restored = Symphony(web=tiny_web, use_authority=False)
+        import_platform(restored, export_platform(sym))
+        spend = restored.ads.advertiser_spend(advertiser.advertiser_id)
+        assert spend == pytest.approx(
+            restored.ads.designer_earnings("app-1")
+            + restored.ads.platform_revenue(), abs=1e-6,
+        )
+
+
+class TestAutocompleteFacade:
+    def test_completions_from_app_usage(self, gamerqueen):
+        symphony, app_id, games = gamerqueen
+        symphony.query(app_id, games[0])
+        symphony.query(app_id, games[0])
+        symphony.query(app_id, games[1])
+        prefix = games[0].split()[0][:3].lower()
+        completions = symphony.autocomplete(prefix, app_id=app_id)
+        assert completions
+        assert completions[0].text == games[0].lower()
+
+    def test_cache_invalidates_on_new_queries(self, gamerqueen):
+        symphony, app_id, games = gamerqueen
+        symphony.query(app_id, games[0])
+        first = symphony.autocomplete("z", app_id=app_id)
+        symphony.query(app_id, "zzz special query")
+        second = symphony.autocomplete("zzz", app_id=app_id)
+        assert [c.text for c in second] == ["zzz special query"]
+        assert first == []
+
+
+class TestMultiVerticalScenario:
+    """An application fanning out to image + video + news verticals."""
+
+    @pytest.fixture()
+    def media_app(self, symphony_small):
+        sym = symphony_small
+        account = sym.register_designer("Mia")
+        games = sym.web.entities["video_games"][:4]
+        sym.upload_http(account, "inv.csv", make_inventory_csv(games),
+                        "inventory", content_type="text/csv")
+        inventory = sym.add_proprietary_source(
+            account, "inventory", ("title",))
+        images = sym.add_web_source("Screenshots", "image")
+        videos = sym.add_web_source("Trailers", "video")
+        news = sym.add_web_source("News", "news")
+        session = sym.designer().new_application(
+            "MediaHub", account.tenant.tenant_id)
+        slot = session.drag_source_onto_app(
+            inventory.source_id, max_results=2,
+            search_fields=("title",))
+        session.add_text(slot, "title")
+        for source in (images, videos, news):
+            session.drag_source_onto_result_layout(
+                slot, source.source_id, drive_fields=("title",),
+                heading=source.name, max_results=2)
+        app_id = sym.host(session)
+        return sym, app_id, games
+
+    def test_all_three_verticals_answer(self, media_app):
+        sym, app_id, games = media_app
+        hits = {"image": 0, "video": 0, "news": 0}
+        for game in games:
+            response = sym.query(app_id, game)
+            matching = [v for v in response.views
+                        if v.item.get("title") == game]
+            if not matching:
+                continue
+            view = matching[0]
+            for result in view.supplemental.values():
+                for item in result.items:
+                    url = item.url
+                    if "/img/" in url:
+                        hits["image"] += 1
+                    elif "/video/" in url:
+                        hits["video"] += 1
+                    elif "/news/" in url:
+                        hits["news"] += 1
+        # Every vertical contributes across the inventory.
+        assert all(count > 0 for count in hits.values()), hits
+
+    def test_image_items_carry_dimensions(self, media_app):
+        sym, app_id, games = media_app
+        for game in games:
+            response = sym.query(app_id, game)
+            for view in response.views:
+                for result in view.supplemental.values():
+                    for item in result.items:
+                        if "/img/" in item.url:
+                            assert int(item.fields["width"]) > 0
+                            return
+        pytest.fail("no image results found for any title")
