@@ -1,0 +1,34 @@
+"""``repro.cluster`` — sharded, replicated search-index cluster.
+
+Document-partitioned shards, N-way replica groups with health tracking
+and failover, parallel scatter-gather query execution with a two-phase
+global-statistics exchange, and a facade that is a drop-in replacement
+for the single-node :class:`~repro.searchengine.engine.SearchEngine`.
+"""
+
+from repro.cluster.engine import (
+    ClusterConfig,
+    ClusteredSearchEngine,
+    ClusterSearchResponse,
+    build_clustered_engine,
+)
+from repro.cluster.executor import (
+    ScatterGatherExecutor,
+    ShardOutcome,
+    merge_ranked,
+)
+from repro.cluster.replica import ReplicaGroup, ShardReplica
+from repro.cluster.sharding import ShardRouter
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSearchResponse",
+    "ClusteredSearchEngine",
+    "build_clustered_engine",
+    "ScatterGatherExecutor",
+    "ShardOutcome",
+    "merge_ranked",
+    "ReplicaGroup",
+    "ShardReplica",
+    "ShardRouter",
+]

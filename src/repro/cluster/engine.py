@@ -1,0 +1,425 @@
+"""The clustered search engine: shards × replicas behind one facade.
+
+:class:`ClusteredSearchEngine` exposes the exact
+:class:`~repro.searchengine.engine.SearchEngine` query contract —
+options, logging, spelling suggestion, facets — over a
+document-partitioned, replicated index cluster:
+
+* **Phase 1 (statistics scatter):** every shard contributes its local
+  document counts, field lengths, and per-term document frequencies;
+  the merged :class:`CorpusStats` make BM25 idf on any shard identical
+  to single-node scoring.
+* **Phase 2 (execution scatter):** every shard evaluates and ranks its
+  own partition in parallel under the global statistics; the gatherer
+  heap-merges the sorted shard lists into the global top-k.
+
+Simulated latency is the *max* over shards (plus the fixed overhead)
+instead of the single-node sum — the whole point of partitioning.
+
+When every replica of a shard is down (killed, faulted out, or timed
+out), the query degrades instead of failing: the response carries the
+surviving shards' results with ``degraded=True`` and the failed shard
+ids, so applications keep rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+
+from repro.searchengine.engine import (
+    SearchOptions,
+    SearchResponse,
+    Vertical,
+    apply_options_to_ast,
+    simulated_latency_ms,
+)
+from repro.searchengine.facets import FacetCount, FacetResult
+from repro.searchengine.logs import QueryEvent, QueryLog
+from repro.searchengine.query import extract_terms, parse_query
+from repro.searchengine.spelling import SpellingCorrector
+from repro.searchengine.stats import CorpusStats
+from repro.util import SimClock
+
+from repro.cluster.executor import ScatterGatherExecutor, merge_ranked
+from repro.cluster.replica import ReplicaGroup, ShardReplica
+from repro.cluster.sharding import ShardRouter
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSearchResponse",
+    "ClusteredSearchEngine",
+    "build_clustered_engine",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Opt-in cluster shape: shard count, redundancy, dispatch limits."""
+
+    num_shards: int = 4
+    replicas_per_shard: int = 1
+    max_workers: int | None = None     # default: one thread per shard
+    shard_timeout_s: float = 5.0       # wall-clock cap per shard task
+    failure_threshold: int = 3         # consecutive errors -> replica out
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.replicas_per_shard <= 0:
+            raise ValueError("replicas_per_shard must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSearchResponse(SearchResponse):
+    """A :class:`SearchResponse` plus cluster health annotations."""
+
+    degraded: bool = False
+    shards_total: int = 0
+    shards_ok: int = 0
+    failed_shards: tuple = ()
+
+
+class _ClusterIndexView:
+    """Read-only union view over one vertical's shard indexes.
+
+    Covers the surface other subsystems touch on ``engine.vertical(v)
+    .index`` (membership for relevance signals, document lookup,
+    corpus size); it is not a full :class:`InvertedIndex`.
+    """
+
+    def __init__(self, engine: "ClusteredSearchEngine",
+                 vertical: Vertical) -> None:
+        self._engine = engine
+        self._vertical = vertical
+
+    def _primary(self, doc_id: str):
+        group = self._engine.group_for(doc_id)
+        return group.replicas[0].vertical(self._vertical).index
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._primary(doc_id)
+
+    def __len__(self) -> int:
+        return sum(
+            len(group.replicas[0].vertical(self._vertical).index)
+            for group in self._engine.groups
+        )
+
+    def document(self, doc_id: str):
+        return self._primary(doc_id).document(doc_id)
+
+    def all_doc_ids(self) -> set:
+        ids: set = set()
+        for group in self._engine.groups:
+            ids |= group.replicas[0].vertical(
+                self._vertical).index.all_doc_ids()
+        return ids
+
+    @property
+    def analyzer(self):
+        return self._engine.reference_vertical(self._vertical).index \
+            .analyzer
+
+
+class _ClusterVerticalView:
+    """``engine.vertical(v)`` compatibility shim for cluster engines."""
+
+    def __init__(self, engine: "ClusteredSearchEngine",
+                 vertical: Vertical) -> None:
+        reference = engine.reference_vertical(vertical)
+        self.vertical = vertical
+        self.text_fields = list(reference.text_fields)
+        self.params = reference.params
+        self.authority = engine.authority  # shared across all shards
+        self.index = _ClusterIndexView(engine, vertical)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class ClusteredSearchEngine:
+    """Scatter-gather query engine over sharded, replicated indexes."""
+
+    def __init__(self, groups: list, router: ShardRouter,
+                 authority: dict | None = None,
+                 clock: SimClock | None = None,
+                 log: QueryLog | None = None,
+                 config: ClusterConfig | None = None) -> None:
+        if len(groups) != router.num_shards:
+            raise ValueError("one replica group per shard required")
+        self.groups = list(groups)
+        self.router = router
+        self.authority = authority if authority is not None else {}
+        self.clock = clock or SimClock()
+        self.log = log or QueryLog()
+        self.config = config or ClusterConfig(num_shards=len(groups))
+        self.executor = ScatterGatherExecutor(
+            max_workers=self.config.max_workers or len(groups),
+            shard_timeout_s=self.config.shard_timeout_s,
+        )
+        # Analyzer / field / parameter reference, independent of replica
+        # health (identical to what every replica was built with).
+        from repro.searchengine.engine import make_vertical_indexes
+        self._reference = make_vertical_indexes(self.authority)
+        # Bumped on every add/remove; invalidates merged-vocabulary
+        # caches (spelling correctors).
+        self._corpus_version = 0
+        self._correctors: dict = {}   # (vertical, version) -> corrector
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    def group_for(self, doc_id: str) -> ReplicaGroup:
+        return self.groups[self.router.shard_of(doc_id)]
+
+    def reference_vertical(self, vertical):
+        return self._reference[Vertical(vertical)]
+
+    def vertical(self, vertical) -> _ClusterVerticalView:
+        return _ClusterVerticalView(self, Vertical(vertical))
+
+    def doc_count(self, vertical) -> int:
+        return sum(group.replicas[0].doc_count(vertical)
+                   for group in self.groups)
+
+    def close(self) -> None:
+        self.executor.close()
+
+    # -- ops hooks ------------------------------------------------------------
+
+    def kill_replica(self, shard_id: int, replica_index: int) -> None:
+        self.groups[shard_id].kill(replica_index)
+
+    def revive_replica(self, shard_id: int, replica_index: int) -> None:
+        self.groups[shard_id].revive(replica_index)
+
+    def health(self) -> dict:
+        """Per-shard replica health: ``{shard_id: [True/False, ...]}``."""
+        return {
+            group.shard_id: [r.healthy for r in group.replicas]
+            for group in self.groups
+        }
+
+    # -- incremental writes (replicated to every replica of the shard) --------
+
+    def add_document(self, vertical, document) -> int:
+        """Route and index one document; returns the owning shard id."""
+        shard_id = self.router.shard_of(document.doc_id)
+        self.groups[shard_id].broadcast(
+            lambda replica: replica.add(vertical, document)
+        )
+        self._corpus_version += 1
+        return shard_id
+
+    def remove_document(self, vertical, doc_id: str) -> int:
+        shard_id = self.router.shard_of(doc_id)
+        self.groups[shard_id].broadcast(
+            lambda replica: replica.remove(vertical, doc_id)
+        )
+        self._corpus_version += 1
+        return shard_id
+
+    # -- the SearchEngine contract --------------------------------------------
+
+    def search(self, vertical, query_text: str,
+               options: SearchOptions | None = None,
+               app_id: str | None = None,
+               session_id: str | None = None) -> ClusterSearchResponse:
+        """Scatter ``query_text`` across shards and gather global top-k."""
+        options = options or SearchOptions()
+        vkey = Vertical(vertical)
+        reference = self.reference_vertical(vkey)
+        node = parse_query(query_text)
+        node = apply_options_to_ast(node, options)
+        terms = extract_terms(node, reference.index.analyzer)
+        now_ms = self.clock.now_ms
+        failed: set[int] = set()
+
+        # Phase 1: gather global statistics (skipped for pure-filter
+        # queries, which BM25 never scores).
+        if terms:
+            outcomes = self.executor.scatter({
+                group.shard_id: (
+                    lambda g=group: g.run(
+                        lambda r: r.collect_stats(vkey, terms)
+                    )
+                )
+                for group in self.groups
+            })
+            failed |= {sid for sid, out in outcomes.items()
+                       if not out.ok}
+            stats = CorpusStats.merge(
+                out.value for out in outcomes.values() if out.ok
+            )
+        else:
+            stats = CorpusStats.empty()
+
+        # Phase 2: parallel per-shard evaluate + rank under the global
+        # statistics; remember which replica served each shard so the
+        # gather phase can materialize results from it.
+        served: dict[int, ShardReplica] = {}
+
+        def run_shard(group):
+            def task(replica):
+                scored, count = replica.execute(
+                    vkey, node, options, terms, stats, now_ms
+                )
+                return replica, scored, count
+            return group.run(task)
+
+        outcomes = self.executor.scatter({
+            group.shard_id: (lambda g=group: run_shard(g))
+            for group in self.groups if group.shard_id not in failed
+        })
+        shard_lists: dict[int, list] = {}
+        candidate_counts: list[int] = []
+        for sid, outcome in outcomes.items():
+            if not outcome.ok:
+                failed.add(sid)
+                continue
+            replica, scored, count = outcome.value
+            served[sid] = replica
+            shard_lists[sid] = scored
+            candidate_counts.append(count)
+
+        # Gather: parallel shards cost max-over-shards, not the sum.
+        elapsed = simulated_latency_ms(
+            max(candidate_counts, default=0)
+        )
+        self.clock.advance(elapsed)
+
+        total_matches = sum(len(lst) for lst in shard_lists.values())
+        window = list(islice(
+            merge_ranked(shard_lists),
+            options.offset, options.offset + options.count,
+        ))
+        results = tuple(
+            served[shard_id].materialize(vkey, doc_id, score, terms)
+            for doc_id, score, shard_id in window
+        )
+        suggestion = None
+        if total_matches == 0 and terms and not failed:
+            suggestion = self._suggest(vkey, terms)
+        response = ClusterSearchResponse(
+            query=query_text,
+            vertical=vkey.value,
+            results=results,
+            total_matches=total_matches,
+            elapsed_ms=elapsed,
+            suggestion=suggestion,
+            degraded=bool(failed),
+            shards_total=self.num_shards,
+            shards_ok=self.num_shards - len(failed),
+            failed_shards=tuple(sorted(failed)),
+        )
+        self.log.log_query(QueryEvent(
+            timestamp_ms=self.clock.now_ms,
+            query=query_text,
+            vertical=response.vertical,
+            app_id=app_id,
+            session_id=session_id,
+            result_urls=tuple(response.urls()),
+        ))
+        return response
+
+    def facets(self, vertical, query_text: str,
+               facet_fields=("site", "topic")) -> dict:
+        """Facets over the union candidate set (degraded shards skipped)."""
+        vkey = Vertical(vertical)
+        self.clock.advance(simulated_latency_ms(0))
+        outcomes = self.executor.scatter({
+            group.shard_id: (
+                lambda g=group: g.run(
+                    lambda r: r.compute_facets(vkey, query_text,
+                                               facet_fields)
+                )
+            )
+            for group in self.groups
+        })
+        merged: dict[str, dict[str, int]] = {
+            name: {} for name in facet_fields
+        }
+        for outcome in outcomes.values():
+            if not outcome.ok:
+                continue
+            for name, buckets in outcome.value.items():
+                target = merged[name]
+                for value, count in buckets.items():
+                    target[value] = target.get(value, 0) + count
+        return {
+            name: FacetResult(name, tuple(
+                FacetCount(value, count)
+                for value, count in sorted(
+                    buckets.items(), key=lambda pair: (-pair[1], pair[0])
+                )
+            ))
+            for name, buckets in merged.items()
+        }
+
+    # -- internals ------------------------------------------------------------
+
+    def _suggest(self, vkey: Vertical, terms) -> str | None:
+        """'Did you mean' over the merged cross-shard vocabulary."""
+        cache_key = (vkey, self._corpus_version)
+        corrector = self._correctors.get(cache_key)
+        if corrector is None:
+            frequencies: dict[str, int] = {}
+            for group in self.groups:
+                replica = (group.healthy_replicas()
+                           or group.replicas)[0]
+                for term, count in replica.term_frequencies(
+                        vkey).items():
+                    frequencies[term] = (
+                        frequencies.get(term, 0) + count
+                    )
+            corrector = SpellingCorrector(frequencies=frequencies)
+            self._correctors = {cache_key: corrector}
+        corrected = corrector.suggest_query(terms)
+        if corrected is None:
+            return None
+        return " ".join(corrected)
+
+
+def build_clustered_engine(web, config: ClusterConfig | None = None,
+                           clock: SimClock | None = None,
+                           use_authority: bool = True,
+                           log: QueryLog | None = None
+                           ) -> ClusteredSearchEngine:
+    """Index a synthetic web into a ready-to-query cluster.
+
+    Authority (PageRank) is computed once over the full link graph and
+    shared by every replica, exactly as the single-node engine blends
+    it, so clustered and single-node rankings agree.
+    """
+    from repro.searchengine.engine import (
+        compute_authority,
+        iter_corpus_documents,
+        make_vertical_indexes,
+    )
+    config = config or ClusterConfig()
+    authority = compute_authority(web) if use_authority else {}
+    router = ShardRouter(config.num_shards)
+    groups = [
+        ReplicaGroup(
+            shard_id,
+            [ShardReplica(shard_id, index,
+                          make_vertical_indexes(authority))
+             for index in range(config.replicas_per_shard)],
+            failure_threshold=config.failure_threshold,
+        )
+        for shard_id in range(config.num_shards)
+    ]
+    engine = ClusteredSearchEngine(
+        groups, router, authority=authority, clock=clock, log=log,
+        config=config,
+    )
+    for vertical, document in iter_corpus_documents(web):
+        shard_id = router.shard_of(document.doc_id)
+        groups[shard_id].broadcast(
+            lambda replica, v=vertical, d=document: replica.add(v, d)
+        )
+    return engine

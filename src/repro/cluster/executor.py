@@ -1,0 +1,111 @@
+"""Parallel scatter-gather over shards.
+
+Dispatches one task per shard onto a shared thread pool, enforces a
+per-shard wall-clock timeout, and merges the shards' already-sorted
+result lists with a heap so gathering top-k costs
+O(k log num_shards), not a global re-sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as _Timeout
+from dataclasses import dataclass
+
+__all__ = ["ShardOutcome", "ScatterGatherExecutor", "merge_ranked"]
+
+
+@dataclass
+class ShardOutcome:
+    """The result (or failure) of one shard's task."""
+
+    shard_id: int
+    value: object = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ScatterGatherExecutor:
+    """A reusable thread pool with per-shard timeout semantics."""
+
+    def __init__(self, max_workers: int | None = None,
+                 shard_timeout_s: float = 5.0) -> None:
+        if shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive")
+        self._max_workers = max_workers
+        self.shard_timeout_s = shard_timeout_s
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self, task_count: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or min(16, max(1, task_count))
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="scatter-gather",
+            )
+        return self._pool
+
+    def scatter(self, tasks: dict) -> dict:
+        """Run ``{shard_id: thunk}`` in parallel.
+
+        Returns ``{shard_id: ShardOutcome}``; a thunk that raises or
+        exceeds the per-shard timeout yields a failed outcome instead of
+        propagating, so one slow or dead shard cannot fail the query.
+        """
+        if not tasks:
+            return {}
+        pool = self._ensure_pool(len(tasks))
+        futures = {
+            shard_id: pool.submit(thunk)
+            for shard_id, thunk in tasks.items()
+        }
+        outcomes: dict[int, ShardOutcome] = {}
+        for shard_id, future in futures.items():
+            try:
+                value = future.result(timeout=self.shard_timeout_s)
+            except _Timeout:
+                outcomes[shard_id] = ShardOutcome(
+                    shard_id,
+                    error=TimeoutError(
+                        f"shard {shard_id} exceeded "
+                        f"{self.shard_timeout_s:.1f}s"
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 — isolated per shard
+                outcomes[shard_id] = ShardOutcome(shard_id, error=exc)
+            else:
+                outcomes[shard_id] = ShardOutcome(shard_id, value=value)
+        return outcomes
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def merge_ranked(shard_lists: dict):
+    """Heap-merge per-shard ``[(doc_id, score)]`` lists.
+
+    Each input list must already be ordered by (score desc, doc_id) —
+    the order :func:`repro.searchengine.engine.rank_candidates`
+    produces. Yields ``(doc_id, score, shard_id)`` in that same global
+    order; consume lazily (e.g. ``islice``) for top-k.
+    """
+    def tag(scored, shard_id):
+        for doc_id, score in scored:
+            yield doc_id, score, shard_id
+
+    return heapq.merge(
+        *(tag(scored, shard_id)
+          for shard_id, scored in shard_lists.items()),
+        key=lambda entry: (-entry[1], entry[0]),
+    )

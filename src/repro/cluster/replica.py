@@ -1,0 +1,214 @@
+"""Shard replicas: redundant copies of one document partition.
+
+A :class:`ShardReplica` holds a full set of vertical indexes over its
+shard's documents and executes the same per-index search core as the
+single-node engine. A :class:`ReplicaGroup` fronts the N replicas of one
+shard with health tracking, fault-injection hooks, and automatic
+failover: a request rotates across healthy replicas and falls through to
+the next one when a replica errors; a replica that keeps failing is
+taken out of rotation.
+
+Writes (add/remove) always go to *every* replica, including killed
+ones, so a revived replica is immediately consistent — ``kill`` models a
+node that stops serving reads, not one that loses its data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.errors import (
+    ReplicaFaultError,
+    ReproError,
+    ShardUnavailableError,
+)
+from repro.searchengine.engine import (
+    Vertical,
+    evaluate_candidates,
+    materialize_result,
+    rank_candidates,
+)
+from repro.searchengine.ranking import BM25Scorer
+from repro.searchengine.spelling import collect_term_frequencies
+from repro.searchengine.stats import CorpusStats, StatsOverlayIndex
+
+__all__ = ["ShardReplica", "ReplicaGroup"]
+
+
+class ShardReplica:
+    """One replica of one shard: per-vertical indexes plus health state."""
+
+    def __init__(self, shard_id: int, replica_index: int,
+                 verticals: dict) -> None:
+        self.shard_id = shard_id
+        self.replica_index = replica_index
+        self.replica_id = f"shard-{shard_id}/replica-{replica_index}"
+        self.verticals = verticals
+        self.healthy = True
+        self._pending_faults: list[Exception] = []
+        self._fault_lock = threading.Lock()
+
+    # -- health & fault injection -------------------------------------------
+
+    def kill(self) -> None:
+        """Take the replica out of read rotation (ops hook / tests)."""
+        self.healthy = False
+
+    def revive(self) -> None:
+        self.healthy = True
+
+    def inject_fault(self, count: int = 1,
+                     exc: Exception | None = None) -> None:
+        """Arrange for the next ``count`` reads on this replica to raise."""
+        with self._fault_lock:
+            for __ in range(count):
+                self._pending_faults.append(
+                    exc or ReplicaFaultError(
+                        f"injected fault on {self.replica_id}"
+                    )
+                )
+
+    def _check_fault(self) -> None:
+        with self._fault_lock:
+            if self._pending_faults:
+                raise self._pending_faults.pop(0)
+
+    # -- data plane -----------------------------------------------------------
+
+    def vertical(self, vertical) -> object:
+        return self.verticals[Vertical(vertical)]
+
+    def add(self, vertical, document) -> None:
+        self.vertical(vertical).index.add(document)
+
+    def remove(self, vertical, doc_id: str) -> None:
+        self.vertical(vertical).index.remove(doc_id)
+
+    def doc_count(self, vertical) -> int:
+        return len(self.vertical(vertical).index)
+
+    # -- query plane (runs on scatter-gather worker threads) ------------------
+
+    def collect_stats(self, vertical, terms) -> CorpusStats:
+        """Phase 1: this shard's contribution to the global statistics."""
+        self._check_fault()
+        vindex = self.vertical(vertical)
+        return CorpusStats.collect(vindex.index, vindex.text_fields,
+                                   terms)
+
+    def execute(self, vertical, node, options, terms,
+                stats: CorpusStats, now_ms: int) -> tuple:
+        """Phase 2: evaluate + rank this shard under global statistics.
+
+        Returns ``(scored, candidate_count)`` where ``scored`` is the
+        shard's full ``(doc_id, score)`` list ordered by score desc then
+        id — ready for the gatherer's heap merge.
+        """
+        self._check_fault()
+        vindex = self.vertical(vertical)
+        candidates = evaluate_candidates(vindex, node, options, now_ms)
+        scorer = BM25Scorer(StatsOverlayIndex(vindex.index, stats),
+                            vindex.text_fields, vindex.params)
+        scored = rank_candidates(vindex, candidates, terms, scorer,
+                                 now_ms)
+        return scored, len(candidates)
+
+    def materialize(self, vertical, doc_id: str, score: float, terms):
+        return materialize_result(self.vertical(vertical), doc_id,
+                                  score, terms)
+
+    def compute_facets(self, vertical, query_text: str,
+                       facet_fields) -> dict:
+        """Per-shard facet buckets: ``{field: {value: count}}``."""
+        from repro.searchengine.facets import compute_facets
+        self._check_fault()
+        vindex = self.vertical(vertical)
+        results = compute_facets(vindex.index, vindex.text_fields,
+                                 query_text, facet_fields)
+        return {name: result.as_dict()
+                for name, result in results.items()}
+
+    def term_frequencies(self, vertical) -> dict:
+        """This shard's vocabulary frequencies, for merged spelling."""
+        vindex = self.vertical(vertical)
+        return collect_term_frequencies(vindex.index,
+                                        vindex.text_fields)
+
+
+class ReplicaGroup:
+    """The replicas of one shard, with failover and health tracking."""
+
+    def __init__(self, shard_id: int, replicas: list,
+                 failure_threshold: int = 3) -> None:
+        if not replicas:
+            raise ValueError("a replica group needs at least one replica")
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        self.shard_id = shard_id
+        self.replicas = list(replicas)
+        self.failure_threshold = failure_threshold
+        self._rotation = itertools.count()
+        self._consecutive_failures = [0] * len(self.replicas)
+        self._lock = threading.Lock()
+
+    # -- ops hooks ------------------------------------------------------------
+
+    def kill(self, replica_index: int) -> None:
+        self.replicas[replica_index].kill()
+
+    def revive(self, replica_index: int) -> None:
+        self.replicas[replica_index].revive()
+        with self._lock:
+            self._consecutive_failures[replica_index] = 0
+
+    def healthy_replicas(self) -> list:
+        return [r for r in self.replicas if r.healthy]
+
+    @property
+    def all_down(self) -> bool:
+        return not self.healthy_replicas()
+
+    # -- write path: replicate everywhere -------------------------------------
+
+    def broadcast(self, fn) -> None:
+        """Apply a write to every replica (killed ones included)."""
+        for replica in self.replicas:
+            fn(replica)
+
+    # -- read path: rotate + fail over ----------------------------------------
+
+    def run(self, fn):
+        """Run ``fn(replica)`` on a healthy replica, failing over.
+
+        Starts at a rotating offset for load spread, skips unhealthy
+        replicas, and on a :class:`ReproError` records the failure
+        (``failure_threshold`` consecutive errors remove the replica
+        from rotation) and tries the next one. Raises
+        :class:`ShardUnavailableError` when every replica is down or
+        errored.
+        """
+        start = next(self._rotation)
+        errors: list[str] = []
+        for offset in range(len(self.replicas)):
+            index = (start + offset) % len(self.replicas)
+            replica = self.replicas[index]
+            if not replica.healthy:
+                errors.append(f"{replica.replica_id}: down")
+                continue
+            try:
+                result = fn(replica)
+            except ReproError as exc:
+                errors.append(f"{replica.replica_id}: {exc}")
+                with self._lock:
+                    self._consecutive_failures[index] += 1
+                    if (self._consecutive_failures[index]
+                            >= self.failure_threshold):
+                        replica.kill()
+                continue
+            with self._lock:
+                self._consecutive_failures[index] = 0
+            return result
+        raise ShardUnavailableError(
+            f"shard {self.shard_id} unavailable: " + "; ".join(errors)
+        )

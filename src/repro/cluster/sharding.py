@@ -1,0 +1,33 @@
+"""Document-partitioned shard routing.
+
+Every document lives on exactly one shard, chosen by a process-stable
+hash of its id, so routing replays identically across runs, processes,
+and cluster restarts. All replicas of a shard hold the same partition.
+"""
+
+from __future__ import annotations
+
+from repro.util import stable_hash
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Hash-based ``doc_id -> shard`` routing."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+
+    def shard_of(self, doc_id: str) -> int:
+        return stable_hash("shard-route", doc_id) % self.num_shards
+
+    def partition(self, doc_ids) -> dict:
+        """Group ``doc_ids`` by owning shard: ``{shard_id: [doc_id]}``."""
+        by_shard: dict[int, list] = {
+            shard: [] for shard in range(self.num_shards)
+        }
+        for doc_id in doc_ids:
+            by_shard[self.shard_of(doc_id)].append(doc_id)
+        return by_shard

@@ -75,14 +75,28 @@ class Symphony:
     def __init__(self, web=None, web_spec: WebSpec | None = None,
                  clock: SimClock | None = None,
                  cache_enabled: bool = True,
-                 use_authority: bool = True) -> None:
+                 use_authority: bool = True,
+                 cluster=None) -> None:
         self.clock = clock or SimClock()
         self.web = web if web is not None else WebGenerator(
             web_spec or WebSpec()
         ).build()
-        self.engine = build_engine(
-            self.web, clock=self.clock, use_authority=use_authority
-        )
+        if cluster is not None:
+            # Opt-in horizontal scaling: the same search contract served
+            # by a sharded, replicated cluster (see repro.cluster).
+            # Accepts a ClusterConfig or a plain shard count.
+            from repro.cluster import ClusterConfig, \
+                build_clustered_engine
+            if isinstance(cluster, int):
+                cluster = ClusterConfig(num_shards=cluster)
+            self.engine = build_clustered_engine(
+                self.web, config=cluster, clock=self.clock,
+                use_authority=use_authority,
+            )
+        else:
+            self.engine = build_engine(
+                self.web, clock=self.clock, use_authority=use_authority
+            )
         self.ids = IdGenerator()
         self.catalog = StorageCatalog(ids=self.ids)
         self.bus = ServiceBus(clock=self.clock)

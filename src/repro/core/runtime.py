@@ -11,7 +11,8 @@ and a per-(source, query) cache with TTL flattens repeat-query cost.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace as dataclass_replace
 
 from repro.core.application import SourceRole
@@ -115,7 +116,10 @@ class ResultCache:
     """LRU cache of :class:`SourceResult` keyed by (source, query, count).
 
     TTL is judged against the simulated clock so tests can age entries
-    deterministically.
+    deterministically. Expired entries are swept on every ``put`` (not
+    just when their key is re-read), so an app issuing many distinct
+    queries cannot hold dead entries up to the LRU cap. Thread-safe:
+    cluster worker threads and concurrent app queries share one cache.
     """
 
     def __init__(self, max_entries: int = 512,
@@ -123,32 +127,44 @@ class ResultCache:
         self.max_entries = max_entries
         self.ttl_ms = ttl_ms
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
-    def _prune(self) -> None:
+    def _prune(self, now_ms: int) -> None:
+        # Sweep TTL-dead entries first; only then apply the LRU cap.
+        expired = [
+            key for key, (stored_ms, __) in self._entries.items()
+            if now_ms - stored_ms > self.ttl_ms
+        ]
+        for key in expired:
+            del self._entries[key]
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
     def get(self, key, now_ms: int):
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        stored_ms, value = entry
-        if now_ms - stored_ms > self.ttl_ms:
-            del self._entries[key]
-            return None
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_ms, value = entry
+            if now_ms - stored_ms > self.ttl_ms:
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key, value, now_ms: int) -> None:
-        self._entries[key] = (now_ms, value)
-        self._entries.move_to_end(key)
-        self._prune()
+        with self._lock:
+            self._entries[key] = (now_ms, value)
+            self._entries.move_to_end(key)
+            self._prune(now_ms)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class CircuitBreaker:
@@ -173,35 +189,53 @@ class CircuitBreaker:
         self.cooldown_ms = cooldown_ms
         self._consecutive_failures: dict[str, int] = {}
         self._opened_at_ms: dict[str, int] = {}
+        self._half_open: set[str] = set()
+        self._lock = threading.RLock()
 
     def is_open(self, source_id: str) -> bool:
-        opened_at = self._opened_at_ms.get(source_id)
-        if opened_at is None:
+        with self._lock:
+            opened_at = self._opened_at_ms.get(source_id)
+            if opened_at is None:
+                return False
+            if self._clock.now_ms - opened_at < self.cooldown_ms:
+                return True
+            # Half-open: admit exactly one probe; everyone else stays
+            # blocked until the probe reports success or failure.
+            if source_id in self._half_open:
+                return True
+            self._half_open.add(source_id)
             return False
-        if self._clock.now_ms - opened_at >= self.cooldown_ms:
-            # Half-open: allow one probe call through.
-            del self._opened_at_ms[source_id]
-            self._consecutive_failures[source_id] = \
-                self.failure_threshold - 1
-            return False
-        return True
 
     def record_failure(self, source_id: str) -> None:
-        count = self._consecutive_failures.get(source_id, 0) + 1
-        self._consecutive_failures[source_id] = count
-        if count >= self.failure_threshold:
-            self._opened_at_ms[source_id] = self._clock.now_ms
+        with self._lock:
+            probing = source_id in self._half_open
+            self._half_open.discard(source_id)
+            if probing:
+                # Failed probe: re-open immediately with a fresh cooldown.
+                self._consecutive_failures[source_id] = \
+                    self.failure_threshold
+                self._opened_at_ms[source_id] = self._clock.now_ms
+                return
+            count = self._consecutive_failures.get(source_id, 0) + 1
+            self._consecutive_failures[source_id] = count
+            if count >= self.failure_threshold:
+                self._opened_at_ms[source_id] = self._clock.now_ms
 
     def record_success(self, source_id: str) -> None:
-        self._consecutive_failures.pop(source_id, None)
-        self._opened_at_ms.pop(source_id, None)
+        with self._lock:
+            self._half_open.discard(source_id)
+            self._consecutive_failures.pop(source_id, None)
+            self._opened_at_ms.pop(source_id, None)
 
     def state(self, source_id: str) -> str:
-        if source_id in self._opened_at_ms:
-            return "open"
-        if self._consecutive_failures.get(source_id, 0) > 0:
-            return "degraded"
-        return "closed"
+        with self._lock:
+            if source_id in self._half_open:
+                return "half_open"
+            if source_id in self._opened_at_ms:
+                return "open"
+            if self._consecutive_failures.get(source_id, 0) > 0:
+                return "degraded"
+            return "closed"
 
 
 class RateLimiter:
@@ -219,29 +253,39 @@ class RateLimiter:
         self._clock = clock
         self.max_requests = max_requests
         self.window_ms = window_ms
-        self._events: dict[str, list] = {}
+        # Timestamps are appended in clock order, so eviction is always
+        # from the left: a deque makes that O(1) per expired event where
+        # list.pop(0) was O(n) at exactly the traffic the limiter exists
+        # to police.
+        self._events: dict[str, deque] = {}
+        self._lock = threading.Lock()
+
+    def _evict(self, events: deque, horizon: int) -> None:
+        while events and events[0] <= horizon:
+            events.popleft()
 
     def check(self, app_id: str) -> None:
         """Record one request; raise when the app exceeds its window."""
-        now = self._clock.now_ms
-        horizon = now - self.window_ms
-        events = self._events.setdefault(app_id, [])
-        while events and events[0] <= horizon:
-            events.pop(0)
-        if len(events) >= self.max_requests:
-            raise QuotaExceededError(
-                f"application {app_id} exceeded "
-                f"{self.max_requests} requests per "
-                f"{self.window_ms} ms"
-            )
-        events.append(now)
+        with self._lock:
+            now = self._clock.now_ms
+            horizon = now - self.window_ms
+            events = self._events.setdefault(app_id, deque())
+            self._evict(events, horizon)
+            if len(events) >= self.max_requests:
+                raise QuotaExceededError(
+                    f"application {app_id} exceeded "
+                    f"{self.max_requests} requests per "
+                    f"{self.window_ms} ms"
+                )
+            events.append(now)
 
     def remaining(self, app_id: str) -> int:
-        now = self._clock.now_ms
-        horizon = now - self.window_ms
-        events = [t for t in self._events.get(app_id, ())
-                  if t > horizon]
-        return max(0, self.max_requests - len(events))
+        with self._lock:
+            events = self._events.get(app_id)
+            if events is None:
+                return self.max_requests
+            self._evict(events, self._clock.now_ms - self.window_ms)
+            return max(0, self.max_requests - len(events))
 
 
 class ApplicationRegistry:

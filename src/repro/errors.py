@@ -71,6 +71,14 @@ class QueryError(ReproError):
     """A search query could not be parsed or evaluated."""
 
 
+class ReplicaFaultError(ReproError):
+    """An injected or simulated fault on one shard replica."""
+
+
+class ShardUnavailableError(ReproError):
+    """Every replica of a shard failed to serve a request."""
+
+
 class IngestError(ReproError):
     """A data upload could not be parsed or normalized."""
 

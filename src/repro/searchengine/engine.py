@@ -43,6 +43,14 @@ __all__ = [
     "VerticalIndex",
     "SearchEngine",
     "build_engine",
+    "apply_options_to_ast",
+    "evaluate_candidates",
+    "rank_candidates",
+    "materialize_result",
+    "simulated_latency_ms",
+    "compute_authority",
+    "make_vertical_indexes",
+    "iter_corpus_documents",
 ]
 
 
@@ -116,12 +124,112 @@ class VerticalIndex:
         return len(self.index)
 
 
+# -- search core ---------------------------------------------------------------
+#
+# The per-index query path is exposed as module functions so a clustered
+# engine can run the exact same pipeline per shard (repro.cluster); the
+# single-node SearchEngine below is a thin orchestration of these.
+
+# Simulated latency model: fixed overhead plus a per-candidate cost.
+BASE_LATENCY_MS = 12.0
+PER_CANDIDATE_US = 40.0
+
+
+def simulated_latency_ms(candidate_count: int) -> float:
+    """Simulated cost of ranking ``candidate_count`` docs on one node."""
+    return BASE_LATENCY_MS + candidate_count * PER_CANDIDATE_US / 1000.0
+
+
+def apply_options_to_ast(node, options: SearchOptions):
+    """Fold augment terms and site restriction into the AST."""
+    extra = []
+    for term in options.augment_terms:
+        extra.append(parse_query(term))
+    if options.sites:
+        site_filters = tuple(
+            FilterNode("site", site) for site in options.sites
+        )
+        extra.append(
+            site_filters[0] if len(site_filters) == 1
+            else OrNode(site_filters)
+        )
+    if not extra:
+        return node
+    return AndNode(tuple([node, *extra]))
+
+
+def evaluate_candidates(vindex: VerticalIndex, node,
+                        options: SearchOptions, now_ms: int) -> set:
+    """Candidate doc ids of one index after all option constraints."""
+    evaluator = QueryEvaluator(vindex.index, vindex.text_fields)
+    candidates = evaluator.candidates(node)
+    if options.exclude_sites:
+        excluded = set()
+        for site in options.exclude_sites:
+            excluded |= vindex.index.keyword_matches("site", site)
+        candidates = candidates - excluded
+    if options.freshness_days is not None:
+        horizon = now_ms - options.freshness_days * 86_400_000
+        fresh = set()
+        for doc_id in candidates:
+            doc = vindex.index.document(doc_id)
+            published = doc.fields.get("_published_ms", 0)
+            if published and int(published) >= horizon:
+                fresh.add(doc_id)
+        candidates = fresh
+    return candidates
+
+
+def rank_candidates(vindex: VerticalIndex, candidates, terms,
+                    scorer: BM25Scorer, now_ms: int) -> list:
+    """Score and order candidates of one index (score desc, then id)."""
+    scored = []
+    for doc_id in candidates:
+        relevance = scorer.score(doc_id, terms) if terms else 1.0
+        if vindex.vertical == Vertical.WEB:
+            prior = vindex.authority.get(doc_id, 0.0)
+            total = blend_scores(relevance, prior, prior_weight=0.3)
+        elif vindex.vertical == Vertical.NEWS:
+            doc = vindex.index.document(doc_id)
+            published = int(doc.fields.get("_published_ms", 0))
+            total = blend_scores(
+                relevance, recency_boost(published, now_ms),
+                prior_weight=0.5,
+            )
+        else:
+            total = relevance
+        scored.append((doc_id, total))
+    # Deterministic ordering: score desc, then doc id.
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored
+
+
+def materialize_result(vindex: VerticalIndex, doc_id: str, score: float,
+                       terms) -> SearchResult:
+    """Build the captioned :class:`SearchResult` for one ranked doc."""
+    doc = vindex.index.document(doc_id)
+    extras = {
+        k: v for k, v in doc.fields.items()
+        if not k.startswith("_") and k not in
+        ("title", "body", "site", "url")
+    }
+    return SearchResult(
+        url=doc.get("url") or doc_id,
+        title=doc.get("title"),
+        snippet=best_window(doc.get("body"), terms,
+                            vindex.index.analyzer, width=28),
+        site=doc.get("site"),
+        score=round(score, 6),
+        vertical=vindex.vertical.value,
+        fields=extras,
+    )
+
+
 class SearchEngine:
     """Query entry point across verticals, with logging and latency."""
 
-    # Simulated latency model: fixed overhead plus a per-candidate cost.
-    _BASE_LATENCY_MS = 12.0
-    _PER_CANDIDATE_US = 40.0
+    _BASE_LATENCY_MS = BASE_LATENCY_MS
+    _PER_CANDIDATE_US = PER_CANDIDATE_US
 
     def __init__(self, verticals: dict, clock: SimClock | None = None,
                  log: QueryLog | None = None) -> None:
@@ -142,26 +250,21 @@ class SearchEngine:
         options = options or SearchOptions()
         vindex = self.vertical(vertical)
         node = parse_query(query_text)
-        node = self._apply_options_to_ast(node, options)
+        node = apply_options_to_ast(node, options)
 
-        evaluator = QueryEvaluator(vindex.index, vindex.text_fields)
-        candidates = evaluator.candidates(node)
-        candidates = self._apply_site_constraints(vindex, candidates, options)
-        if options.freshness_days is not None:
-            candidates = self._apply_freshness(vindex, candidates, options)
-
+        candidates = evaluate_candidates(vindex, node, options,
+                                         self.clock.now_ms)
         terms = extract_terms(node, vindex.index.analyzer)
         scorer = BM25Scorer(vindex.index, vindex.text_fields, vindex.params)
-        scored = self._rank(vindex, candidates, terms, scorer)
+        scored = rank_candidates(vindex, candidates, terms, scorer,
+                                 self.clock.now_ms)
 
-        elapsed = self._BASE_LATENCY_MS + (
-            len(candidates) * self._PER_CANDIDATE_US / 1000.0
-        )
+        elapsed = simulated_latency_ms(len(candidates))
         self.clock.advance(elapsed)
 
         window = scored[options.offset:options.offset + options.count]
         results = tuple(
-            self._to_result(vindex, doc_id, score, terms)
+            materialize_result(vindex, doc_id, score, terms)
             for doc_id, score in window
         )
         suggestion = None
@@ -196,82 +299,6 @@ class SearchEngine:
 
     # -- internals ------------------------------------------------------------
 
-    @staticmethod
-    def _apply_options_to_ast(node, options: SearchOptions):
-        """Fold augment terms and site restriction into the AST."""
-        extra = []
-        for term in options.augment_terms:
-            extra.append(parse_query(term))
-        if options.sites:
-            site_filters = tuple(
-                FilterNode("site", site) for site in options.sites
-            )
-            extra.append(
-                site_filters[0] if len(site_filters) == 1
-                else OrNode(site_filters)
-            )
-        if not extra:
-            return node
-        return AndNode(tuple([node, *extra]))
-
-    def _apply_site_constraints(self, vindex, candidates, options):
-        if options.exclude_sites:
-            excluded = set()
-            for site in options.exclude_sites:
-                excluded |= vindex.index.keyword_matches("site", site)
-            candidates = candidates - excluded
-        return candidates
-
-    def _apply_freshness(self, vindex, candidates, options):
-        horizon = self.clock.now_ms - options.freshness_days * 86_400_000
-        fresh = set()
-        for doc_id in candidates:
-            doc = vindex.index.document(doc_id)
-            published = doc.fields.get("_published_ms", 0)
-            if published and int(published) >= horizon:
-                fresh.add(doc_id)
-        return fresh
-
-    def _rank(self, vindex, candidates, terms, scorer):
-        now_ms = self.clock.now_ms
-        scored = []
-        for doc_id in candidates:
-            relevance = scorer.score(doc_id, terms) if terms else 1.0
-            if vindex.vertical == Vertical.WEB:
-                prior = vindex.authority.get(doc_id, 0.0)
-                total = blend_scores(relevance, prior, prior_weight=0.3)
-            elif vindex.vertical == Vertical.NEWS:
-                doc = vindex.index.document(doc_id)
-                published = int(doc.fields.get("_published_ms", 0))
-                total = blend_scores(
-                    relevance, recency_boost(published, now_ms),
-                    prior_weight=0.5,
-                )
-            else:
-                total = relevance
-            scored.append((doc_id, total))
-        # Deterministic ordering: score desc, then doc id.
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored
-
-    def _to_result(self, vindex, doc_id, score, terms) -> SearchResult:
-        doc = vindex.index.document(doc_id)
-        extras = {
-            k: v for k, v in doc.fields.items()
-            if not k.startswith("_") and k not in
-            ("title", "body", "site", "url")
-        }
-        return SearchResult(
-            url=doc.get("url") or doc_id,
-            title=doc.get("title"),
-            snippet=best_window(doc.get("body"), terms,
-                                vindex.index.analyzer, width=28),
-            site=doc.get("site"),
-            score=round(score, 6),
-            vertical=vindex.vertical.value,
-            fields=extras,
-        )
-
     def _suggest(self, vindex, terms) -> str | None:
         """'Did you mean' over the vertical's vocabulary (lazy, cached)."""
         corrector = self._correctors.get(vindex.vertical)
@@ -285,22 +312,26 @@ class SearchEngine:
         return " ".join(corrected)
 
 
-def build_engine(web, clock: SimClock | None = None,
-                 use_authority: bool = True) -> SearchEngine:
-    """Index a synthetic web into a ready-to-query :class:`SearchEngine`."""
+def compute_authority(web) -> dict:
+    """Normalized PageRank over the web's link graph, in [0, 1]."""
+    ranks = pagerank(web.link_graph())
+    if not ranks:
+        return {}
+    top = max(ranks.values())
+    return {url: value / top for url, value in ranks.items()}
+
+
+def make_vertical_indexes(authority: dict | None = None) -> dict:
+    """Fresh empty per-vertical indexes with the standard ranking config.
+
+    Shared by the single-node engine and every cluster shard replica so
+    analyzers, field modes, and BM25 parameters never diverge.
+    """
     web_params = BM25Parameters(field_boosts={"title": 2.0, "body": 1.0})
     media_params = BM25Parameters(field_boosts={"title": 2.0,
                                                 "caption": 2.0,
                                                 "body": 1.0})
-    authority = {}
-    if use_authority:
-        # Normalize PageRank into [0, 1] so it blends on a known scale.
-        ranks = pagerank(web.link_graph())
-        if ranks:
-            top = max(ranks.values())
-            authority = {url: value / top for url, value in ranks.items()}
-
-    verticals = {
+    return {
         Vertical.WEB: VerticalIndex(
             Vertical.WEB, ["title", "body"], web_params, authority
         ),
@@ -315,8 +346,11 @@ def build_engine(web, clock: SimClock | None = None,
         ),
     }
 
+
+def iter_corpus_documents(web):
+    """Yield every asset of the web as ``(Vertical, FieldedDocument)``."""
     for page in web.pages.values():
-        verticals[Vertical.WEB].add(FieldedDocument(
+        yield Vertical.WEB, FieldedDocument(
             doc_id=page.url,
             fields={
                 "url": page.url, "title": page.title, "body": page.body,
@@ -325,9 +359,9 @@ def build_engine(web, clock: SimClock | None = None,
                 "entity": page.entity or "",
             },
             payload=page,
-        ))
+        )
     for image in web.images.values():
-        verticals[Vertical.IMAGE].add(FieldedDocument(
+        yield Vertical.IMAGE, FieldedDocument(
             doc_id=image.url,
             fields={
                 "url": image.url, "title": image.caption,
@@ -337,9 +371,9 @@ def build_engine(web, clock: SimClock | None = None,
                 "entity": image.entity or "",
             },
             payload=image,
-        ))
+        )
     for video in web.videos.values():
-        verticals[Vertical.VIDEO].add(FieldedDocument(
+        yield Vertical.VIDEO, FieldedDocument(
             doc_id=video.url,
             fields={
                 "url": video.url, "title": video.title,
@@ -348,9 +382,9 @@ def build_engine(web, clock: SimClock | None = None,
                 "entity": video.entity or "",
             },
             payload=video,
-        ))
+        )
     for article in web.news.values():
-        verticals[Vertical.NEWS].add(FieldedDocument(
+        yield Vertical.NEWS, FieldedDocument(
             doc_id=article.url,
             fields={
                 "url": article.url, "title": article.headline,
@@ -360,6 +394,14 @@ def build_engine(web, clock: SimClock | None = None,
                 "entity": article.entity or "",
             },
             payload=article,
-        ))
+        )
 
+
+def build_engine(web, clock: SimClock | None = None,
+                 use_authority: bool = True) -> SearchEngine:
+    """Index a synthetic web into a ready-to-query :class:`SearchEngine`."""
+    authority = compute_authority(web) if use_authority else {}
+    verticals = make_vertical_indexes(authority)
+    for vertical, document in iter_corpus_documents(web):
+        verticals[vertical].add(document)
     return SearchEngine(verticals, clock=clock)

@@ -149,6 +149,19 @@ class InvertedIndex:
             return 0.0
         return self._total_field_length.get(name, 0) / len(lengths)
 
+    def total_field_length(self, name: str) -> int:
+        """Sum of analyzed token counts across all docs with the field."""
+        return self._total_field_length.get(name, 0)
+
+    def field_doc_count(self, name: str) -> int:
+        """How many documents carry the (text) field ``name``."""
+        return len(self._field_lengths.get(name, {}))
+
+    def term_frequencies(self, name: str) -> dict[str, int]:
+        """Document frequency per term of one text field (copied)."""
+        term_map = self._postings.get(name, {})
+        return {term: len(by_doc) for term, by_doc in term_map.items()}
+
     def text_fields(self) -> list[str]:
         return sorted(self._postings)
 

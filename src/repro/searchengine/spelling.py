@@ -7,7 +7,8 @@ most frequent vocabulary term within small edit distance.
 
 from __future__ import annotations
 
-__all__ = ["edit_distance", "SpellingCorrector"]
+__all__ = ["edit_distance", "collect_term_frequencies",
+           "SpellingCorrector"]
 
 
 def edit_distance(a: str, b: str, cap: int = 3) -> int:
@@ -32,21 +33,36 @@ def edit_distance(a: str, b: str, cap: int = 3) -> int:
     return min(previous[-1], cap)
 
 
-class SpellingCorrector:
-    """Suggests corrections from term frequencies in one or more fields."""
+def collect_term_frequencies(index, fields=None) -> dict[str, int]:
+    """Unfiltered per-term document frequencies over ``fields``.
 
-    def __init__(self, index, fields=None, max_distance: int = 2,
-                 min_frequency: int = 2) -> None:
+    Collectable per shard and mergeable by summation, so a clustered
+    engine can build one corrector over its union vocabulary.
+    """
+    frequencies: dict[str, int] = {}
+    for field_name in fields or index.text_fields():
+        for term, count in index.term_frequencies(field_name).items():
+            frequencies[term] = frequencies.get(term, 0) + count
+    return frequencies
+
+
+class SpellingCorrector:
+    """Suggests corrections from term frequencies in one or more fields.
+
+    Pass either an ``index`` (with optional ``fields``) or pre-merged
+    ``frequencies``; the ``min_frequency`` floor applies in both cases.
+    """
+
+    def __init__(self, index=None, fields=None, max_distance: int = 2,
+                 min_frequency: int = 2,
+                 frequencies: dict | None = None) -> None:
         self._max_distance = max_distance
-        self._frequencies: dict[str, int] = {}
-        for field_name in fields or index.text_fields():
-            term_map = index._postings.get(field_name, {})
-            for term, by_doc in term_map.items():
-                self._frequencies[term] = (
-                    self._frequencies.get(term, 0) + len(by_doc)
-                )
+        if frequencies is None:
+            if index is None:
+                raise ValueError("need an index or a frequencies dict")
+            frequencies = collect_term_frequencies(index, fields)
         self._frequencies = {
-            term: count for term, count in self._frequencies.items()
+            term: count for term, count in frequencies.items()
             if count >= min_frequency
         }
 

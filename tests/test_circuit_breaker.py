@@ -60,6 +60,37 @@ class TestCircuitBreakerUnit:
         with pytest.raises(ValueError):
             CircuitBreaker(SimClock(), cooldown_ms=0)
 
+    def test_half_open_admits_exactly_one_probe(self):
+        # Regression: before the probe's verdict is in, every *other*
+        # caller must still see the circuit as open — otherwise a burst
+        # of queries during half-open all hammer the sick service.
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 cooldown_ms=1000)
+        breaker.record_failure("s")
+        clock.advance(1000)
+        assert not breaker.is_open("s")       # the single probe
+        assert breaker.state("s") == "half_open"
+        assert breaker.is_open("s")           # second caller: blocked
+        assert breaker.is_open("s")           # and the third
+        breaker.record_success("s")
+        assert not breaker.is_open("s")       # verdict in: closed
+        assert breaker.state("s") == "closed"
+
+    def test_failed_probe_restarts_cooldown(self):
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 cooldown_ms=1000)
+        breaker.record_failure("s")
+        clock.advance(1000)
+        assert not breaker.is_open("s")
+        breaker.record_failure("s")
+        # Re-opened *from the probe's failure time*: a fresh cooldown.
+        clock.advance(999)
+        assert breaker.is_open("s")
+        clock.advance(1)
+        assert not breaker.is_open("s")
+
 
 class TestCircuitBreakerIntegration:
     @pytest.fixture()

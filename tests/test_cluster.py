@@ -1,0 +1,320 @@
+"""Unit and integration tests for the ``repro.cluster`` subsystem."""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ScatterGatherExecutor,
+    ShardRouter,
+    build_clustered_engine,
+    merge_ranked,
+)
+from repro.cluster.replica import ReplicaGroup, ShardReplica
+from repro.errors import (
+    DuplicateError,
+    NotFoundError,
+    ReplicaFaultError,
+    ShardUnavailableError,
+)
+from repro.searchengine.documents import FieldedDocument
+from repro.searchengine.engine import (
+    SearchOptions,
+    build_engine,
+    make_vertical_indexes,
+)
+
+
+@pytest.fixture()
+def cluster(small_web):
+    """A fresh 4x2 cluster per test (tests mutate health/contents)."""
+    engine = build_clustered_engine(
+        small_web,
+        ClusterConfig(num_shards=4, replicas_per_shard=2),
+        use_authority=False,
+    )
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def single(small_web):
+    return build_engine(small_web, use_authority=False)
+
+
+class TestShardRouter:
+    def test_routing_is_stable_and_in_range(self):
+        router = ShardRouter(5)
+        ids = [f"http://site-{i}.example/page" for i in range(200)]
+        first = [router.shard_of(doc_id) for doc_id in ids]
+        second = [router.shard_of(doc_id) for doc_id in ids]
+        assert first == second
+        assert all(0 <= shard < 5 for shard in first)
+        # A hash router should actually spread documents around.
+        assert len(set(first)) == 5
+
+    def test_partition_covers_everything(self):
+        router = ShardRouter(3)
+        ids = [f"doc-{i}" for i in range(50)]
+        parts = router.partition(ids)
+        assert sorted(parts) == [0, 1, 2]
+        regathered = [d for shard in parts.values() for d in shard]
+        assert sorted(regathered) == sorted(ids)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+def make_replica(shard_id=0, replica_index=0):
+    return ShardReplica(shard_id, replica_index,
+                        make_vertical_indexes())
+
+
+class TestReplicaGroup:
+    def test_failover_skips_faulted_replica(self):
+        first, second = make_replica(0, 0), make_replica(0, 1)
+        group = ReplicaGroup(0, [first, second])
+        first.inject_fault(count=1)
+        second.inject_fault(count=1)
+        # Whichever replica rotation picks first is faulted, the group
+        # falls through to the other — also faulted, so the first call
+        # exhausts the group. The faults are consumed doing so, and the
+        # next call succeeds.
+        with pytest.raises(ShardUnavailableError):
+            group.run(lambda r: r.collect_stats("web", ["x"]))
+        stats = group.run(lambda r: r.collect_stats("web", ["x"]))
+        assert stats.doc_count == 0
+
+    def test_repeated_failures_remove_replica_from_rotation(self):
+        flaky, stable = make_replica(0, 0), make_replica(0, 1)
+        group = ReplicaGroup(0, [flaky, stable], failure_threshold=2)
+        flaky.inject_fault(count=10)
+        for __ in range(4):
+            group.run(lambda r: r.collect_stats("web", ["x"]))
+        assert not flaky.healthy
+        assert stable.healthy
+
+    def test_all_down_raises_shard_unavailable(self):
+        group = ReplicaGroup(0, [make_replica(), make_replica(0, 1)])
+        group.kill(0)
+        group.kill(1)
+        assert group.all_down
+        with pytest.raises(ShardUnavailableError):
+            group.run(lambda r: r.doc_count("web"))
+
+    def test_revive_restores_service(self):
+        group = ReplicaGroup(0, [make_replica()])
+        group.kill(0)
+        with pytest.raises(ShardUnavailableError):
+            group.run(lambda r: r.doc_count("web"))
+        group.revive(0)
+        assert group.run(lambda r: r.doc_count("web")) == 0
+
+    def test_writes_reach_killed_replicas(self):
+        group = ReplicaGroup(0, [make_replica(), make_replica(0, 1)])
+        group.kill(1)
+        doc = FieldedDocument(doc_id="d1", fields={"title": "hello"})
+        group.broadcast(lambda r: r.add("web", doc))
+        group.revive(1)
+        assert group.replicas[1].doc_count("web") == 1
+
+
+class TestScatterGatherExecutor:
+    def test_parallel_dispatch_collects_all(self):
+        with ScatterGatherExecutor(max_workers=4) as executor:
+            outcomes = executor.scatter(
+                {i: (lambda i=i: i * i) for i in range(8)}
+            )
+        assert all(out.ok for out in outcomes.values())
+        assert {i: out.value for i, out in outcomes.items()} == \
+            {i: i * i for i in range(8)}
+
+    def test_exception_is_isolated_per_shard(self):
+        def boom():
+            raise ReplicaFaultError("nope")
+        with ScatterGatherExecutor(max_workers=2) as executor:
+            outcomes = executor.scatter({0: boom, 1: lambda: "fine"})
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, ReplicaFaultError)
+        assert outcomes[1].ok and outcomes[1].value == "fine"
+
+    def test_per_shard_timeout(self):
+        with ScatterGatherExecutor(max_workers=2,
+                                   shard_timeout_s=0.05) as executor:
+            outcomes = executor.scatter({
+                0: lambda: time.sleep(0.5) or "late",
+                1: lambda: "quick",
+            })
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, TimeoutError)
+        assert outcomes[1].ok
+
+    def test_merge_ranked_orders_and_tags(self):
+        merged = list(merge_ranked({
+            0: [("a", 3.0), ("c", 1.0)],
+            1: [("b", 2.0), ("d", 1.0)],
+        }))
+        assert merged == [("a", 3.0, 0), ("b", 2.0, 1),
+                          ("c", 1.0, 0), ("d", 1.0, 1)]
+
+
+class TestClusteredSearch:
+    def test_document_partitioning_is_complete(self, cluster, single):
+        for vertical in ("web", "image", "video", "news"):
+            assert cluster.doc_count(vertical) == \
+                len(single.vertical(vertical).index)
+        # No shard holds everything: the corpus is actually split.
+        web_counts = [
+            group.replicas[0].doc_count("web")
+            for group in cluster.groups
+        ]
+        assert all(count > 0 for count in web_counts)
+        assert max(web_counts) < cluster.doc_count("web")
+
+    def test_search_logs_query_event(self, cluster):
+        cluster.search("web", "wine", app_id="app-x",
+                       session_id="s-1")
+        event = cluster.log.queries[-1]
+        assert event.app_id == "app-x"
+        assert event.session_id == "s-1"
+        assert event.vertical == "web"
+
+    def test_single_replica_kill_is_invisible(self, cluster, single):
+        baseline = cluster.search("web", "wine tasting")
+        cluster.kill_replica(0, 0)
+        response = cluster.search("web", "wine tasting")
+        assert not response.degraded
+        assert response.urls() == baseline.urls()
+
+    def test_whole_shard_down_degrades_not_fails(self, cluster):
+        everything = SearchOptions(count=500)
+        healthy = cluster.search("web", "wine", everything)
+        cluster.kill_replica(1, 0)
+        cluster.kill_replica(1, 1)
+        degraded = cluster.search("web", "wine", everything)
+        assert degraded.degraded
+        assert degraded.failed_shards == (1,)
+        assert degraded.shards_ok == 3
+        assert degraded.shards_total == 4
+        # Partial results: a subset of the healthy result set.
+        assert degraded.total_matches < healthy.total_matches
+        assert set(degraded.urls()) <= set(healthy.urls())
+
+    def test_fault_injection_fails_over_silently(self, cluster):
+        baseline = cluster.search("web", "wine tasting")
+        for group in cluster.groups:
+            group.replicas[0].inject_fault(count=1)
+        response = cluster.search("web", "wine tasting")
+        assert not response.degraded
+        assert response.urls() == baseline.urls()
+
+    def test_revive_restores_full_results(self, cluster):
+        healthy = cluster.search("web", "wine")
+        cluster.kill_replica(2, 0)
+        cluster.kill_replica(2, 1)
+        assert cluster.search("web", "wine").degraded
+        cluster.revive_replica(2, 1)
+        recovered = cluster.search("web", "wine")
+        assert not recovered.degraded
+        assert recovered.urls() == healthy.urls()
+
+    def test_health_snapshot(self, cluster):
+        cluster.kill_replica(3, 1)
+        health = cluster.health()
+        assert health[3] == [True, False]
+        assert health[0] == [True, True]
+
+    def test_incremental_add_remove(self, cluster):
+        doc = FieldedDocument(
+            doc_id="http://added.example/zzyzx",
+            fields={"url": "http://added.example/zzyzx",
+                    "title": "zzyzx chronicle", "body": "zzyzx body",
+                    "site": "added.example", "topic": "wine"},
+        )
+        shard_id = cluster.add_document("web", doc)
+        assert 0 <= shard_id < cluster.num_shards
+        found = cluster.search("web", "zzyzx")
+        assert found.urls() == [doc.doc_id]
+        with pytest.raises(DuplicateError):
+            cluster.add_document("web", doc)
+        cluster.remove_document("web", doc.doc_id)
+        assert cluster.search("web", "zzyzx").total_matches == 0
+        with pytest.raises(NotFoundError):
+            cluster.remove_document("web", doc.doc_id)
+
+    def test_added_document_survives_replica_failover(self, cluster):
+        doc = FieldedDocument(
+            doc_id="http://added.example/qwxyz",
+            fields={"url": "http://added.example/qwxyz",
+                    "title": "qwxyz report", "body": "qwxyz",
+                    "site": "added.example", "topic": "wine"},
+        )
+        shard_id = cluster.add_document("web", doc)
+        cluster.kill_replica(shard_id, 0)
+        response = cluster.search("web", "qwxyz")
+        assert not response.degraded
+        assert response.urls() == [doc.doc_id]
+
+    def test_vertical_view_supports_signals_surface(self, cluster):
+        view = cluster.vertical("web")
+        some_url = cluster.search("web", "wine").urls()[0]
+        assert some_url in view.index
+        assert view.index.document(some_url).get("url") == some_url
+        assert len(view.index) == cluster.doc_count("web")
+        assert "http://nowhere.example/" not in view.index
+        # Authority is the single shared dict all shards blend from.
+        view.authority["boosted"] = 0.5
+        assert cluster.authority["boosted"] == 0.5
+
+    def test_pagination_matches_single_node(self, cluster, single):
+        for offset in (0, 3, 10):
+            options = SearchOptions(count=5, offset=offset)
+            assert cluster.search("web", "wine", options).urls() == \
+                single.search("web", "wine", options).urls()
+
+    def test_latency_is_max_over_shards_not_sum(self, cluster, single):
+        query = "wine"  # broad: many candidates per shard
+        a = single.search("web", query)
+        b = cluster.search("web", query)
+        assert b.elapsed_ms < a.elapsed_ms
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas_per_shard=0)
+
+
+class TestSymphonyClusterIntegration:
+    def test_platform_opt_in_runs_apps_unchanged(self, tiny_web):
+        from repro.core.platform import Symphony
+        from tests.conftest import make_inventory_csv
+
+        symphony = Symphony(web=tiny_web, use_authority=False,
+                            cluster=2)
+        account = symphony.register_designer("Ann")
+        games = symphony.web.entities["video_games"][:3]
+        symphony.upload_http(account, "inv.csv",
+                             make_inventory_csv(games), "inventory",
+                             content_type="text/csv")
+        inventory = symphony.add_proprietary_source(
+            account, "inventory", ("title",))
+        reviews = symphony.add_web_source("Reviews", "web")
+        session = symphony.designer().new_application(
+            "Shop", account.tenant.tenant_id)
+        slot = session.drag_source_onto_app(
+            inventory.source_id, search_fields=("title",))
+        session.add_text(slot, "title")
+        session.drag_source_onto_result_layout(
+            slot, reviews.source_id, drive_fields=("title",))
+        app_id = symphony.host(session)
+
+        response = symphony.query(app_id, games[0])
+        assert response.views
+        assert symphony.engine.log.queries
+        # The app keeps answering with a whole shard dark.
+        symphony.engine.kill_replica(0, 0)
+        assert symphony.query(app_id, games[1]).views
+        symphony.engine.close()

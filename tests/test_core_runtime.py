@@ -279,6 +279,29 @@ class TestCaching:
         assert cache.get("a", now_ms=0) == 1
         assert len(cache) == 2
 
+    def test_put_sweeps_expired_entries(self):
+        # Expired entries must not linger just because their keys are
+        # never re-read: any put prunes them.
+        cache = ResultCache(max_entries=10, ttl_ms=100)
+        cache.put("old-1", 1, now_ms=0)
+        cache.put("old-2", 2, now_ms=0)
+        cache.put("fresh", 3, now_ms=200)
+        assert len(cache) == 1
+        assert cache.get("fresh", now_ms=200) == 3
+
+    def test_ttl_sweep_protects_live_entries_from_lru(self):
+        # TTL-dead entries are swept *before* the LRU cap is applied,
+        # so stale junk can never push a live entry out.
+        cache = ResultCache(max_entries=2, ttl_ms=100)
+        cache.put("dead", 1, now_ms=0)
+        cache.put("live", 2, now_ms=150)
+        cache.put("newer", 3, now_ms=200)
+        # Without the sweep, the cap would have evicted "live" (oldest
+        # by insertion) while the expired "dead" still counted.
+        assert cache.get("live", now_ms=200) == 2
+        assert cache.get("newer", now_ms=200) == 3
+        assert cache.get("dead", now_ms=200) is None
+
 
 class TestLoggingIntegration:
     def test_app_query_logged(self):

@@ -198,6 +198,24 @@ class TestRateLimiter:
         with pytest.raises(ValueError):
             RateLimiter(SimClock(), max_requests=0)
 
+    def test_remaining_evicts_in_place_without_copying(self):
+        clock = SimClock(start_ms=0)
+        limiter = RateLimiter(clock, max_requests=3, window_ms=1000)
+        for __ in range(3):
+            limiter.check("app")
+        clock.advance(1001)
+        # remaining() drops the expired events from the deque itself
+        # rather than counting against a filtered copy.
+        assert limiter.remaining("app") == 3
+        assert len(limiter._events["app"]) == 0
+
+    def test_event_store_is_a_deque(self):
+        from collections import deque
+        clock = SimClock(start_ms=0)
+        limiter = RateLimiter(clock, max_requests=2, window_ms=1000)
+        limiter.check("app")
+        assert isinstance(limiter._events["app"], deque)
+
     def test_runtime_integration(self, gamerqueen):
         symphony, app_id, games = gamerqueen
         symphony.runtime.rate_limiter = RateLimiter(
