@@ -1,0 +1,149 @@
+"""Experiment X8 — telemetry overhead on the Fig. 2 query pipeline.
+
+Runs the same cold-query workload through two otherwise identical
+platforms — one with telemetry disabled (the default null instruments)
+and one with full tracing/metrics/events enabled — and compares
+median wall-clock latency per query. The instrumented run must stay
+within a bounded regression of the uninstrumented one: the null-object
+hot path is the design contract that makes telemetry safe to ship
+enabled-by-default in development deployments.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_telemetry_overhead.py``), recording the
+  ``x8_telemetry_overhead`` artifact; or
+* standalone as a CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py \
+          --check 0.25
+
+  which exits non-zero when the traced run regresses more than the
+  threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import statistics
+import sys
+import time
+
+
+def _median_query_ms(symphony, app_id, queries, rounds: int) -> float:
+    """Median cold-query wall time (ms) over rounds × queries."""
+    timings = []
+    for __ in range(rounds):
+        for query in queries:
+            symphony.runtime.cache.clear()
+            start = time.perf_counter()
+            symphony.query(app_id, query, session_id="x8")
+            timings.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(timings)
+
+
+def measure_overhead(web, rounds: int = 5, n_queries: int = 4) -> dict:
+    """Build untraced + traced platforms on ``web`` and compare them."""
+    from repro.core.platform import Symphony
+    from benchmarks.conftest import build_gamerqueen
+
+    platforms = {}
+    for label, telemetry in (("untraced", None), ("traced", True)):
+        symphony = Symphony(web=web, use_authority=False,
+                            telemetry=telemetry)
+        app_id, games = build_gamerqueen(
+            symphony, designer_name=f"X8-{label}",
+            table_name=f"x8_{label}", n_supplemental=1,
+        )
+        platforms[label] = (symphony, app_id, games[:n_queries])
+
+    # Warm BOTH platforms before timing either, so one-time costs
+    # (lazy imports, allocator growth) don't inflate whichever
+    # platform happens to be measured first and skew the comparison.
+    results = {}
+    for label, (symphony, app_id, queries) in platforms.items():
+        _median_query_ms(symphony, app_id, queries, rounds=1)
+    for label, (symphony, app_id, queries) in platforms.items():
+        results[label] = _median_query_ms(symphony, app_id, queries,
+                                          rounds=rounds)
+    traced_symphony = platforms["traced"][0]
+    results["spans"] = len(traced_symphony.telemetry.tracer.spans)
+    results["events"] = len(traced_symphony.telemetry.events.events)
+    results["overhead"] = (
+        results["traced"] / results["untraced"] - 1.0
+        if results["untraced"] > 0 else 0.0
+    )
+    return results
+
+
+def format_artifact(result: dict, threshold: float) -> str:
+    verdict = ("PASS" if result["overhead"] <= threshold
+               else "FAIL")
+    return "\n".join([
+        "X8 — telemetry overhead (traced vs untraced cold queries)",
+        "",
+        f"  untraced median : {result['untraced']:8.3f} ms/query",
+        f"  traced median   : {result['traced']:8.3f} ms/query",
+        f"  overhead        : {result['overhead'] * 100:+8.1f} %"
+        f"   (threshold {threshold * 100:.0f} %)",
+        f"  spans recorded  : {result['spans']}",
+        f"  events recorded : {result['events']}",
+        "",
+        f"  {verdict}: tracing, metrics, and the event log "
+        f"{'stay' if verdict == 'PASS' else 'DO NOT stay'} within "
+        "budget on the Fig. 2 pipeline",
+    ])
+
+
+def test_telemetry_overhead(bench_web):
+    """Pytest entry point: record the artifact, enforce the budget."""
+    from benchmarks.conftest import record_artifact
+
+    threshold = 0.25
+    result = measure_overhead(bench_web, rounds=5)
+    record_artifact("x8_telemetry_overhead",
+                    format_artifact(result, threshold))
+    assert result["spans"] > 0
+    assert result["overhead"] <= threshold
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="telemetry overhead smoke check"
+    )
+    parser.add_argument("--check", type=float, default=0.25,
+                        help="max allowed overhead fraction "
+                             "(default 0.25)")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing benchmarks/artifacts/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    from repro.simweb.generator import WebGenerator, WebSpec
+
+    # A moderate web keeps the smoke check fast while still exercising
+    # the full pipeline (primary + supplemental + cache + renderer).
+    spec = WebSpec(seed=args.seed,
+                   topics=("video_games", "wine", "news"),
+                   extra_sites_per_topic=1, pages_per_site=8,
+                   images_per_site=3, videos_per_site=2,
+                   news_per_site=4)
+    web = WebGenerator(spec).build()
+    result = measure_overhead(web, rounds=args.rounds)
+    text = format_artifact(result, args.check)
+    print(text)
+    if not args.no_artifact:
+        artifact_dir = repo_root / "benchmarks" / "artifacts"
+        artifact_dir.mkdir(exist_ok=True)
+        (artifact_dir / "x8_telemetry_overhead.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+    return 0 if result["overhead"] <= args.check else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli search "halo review" # query the web vertical
     python -m repro.cli suggest gamespot.com ign.com
     python -m repro.cli stats                # synthetic web statistics
+    python -m repro.cli telemetry            # trace one clustered query
+    python -m repro.cli telemetry --input t.jsonl  # report an export
 """
 
 from __future__ import annotations
@@ -20,9 +22,46 @@ from repro.searchengine.engine import SearchOptions
 __all__ = ["main"]
 
 
-def _build_platform(seed: int) -> Symphony:
+def _build_platform(seed: int, **kwargs) -> Symphony:
     from repro.simweb.generator import WebSpec
-    return Symphony(web_spec=WebSpec(seed=seed))
+    return Symphony(web_spec=WebSpec(seed=seed), **kwargs)
+
+
+def _build_demo_app(symphony: Symphony) -> tuple:
+    """Stand up the GamerQueen demo application.
+
+    Returns ``(app_id, games, session)``.
+    """
+    account = symphony.register_designer("Ann")
+    games = symphony.web.entities["video_games"][:5]
+    rows = ["title,producer,description"]
+    rows += [f'{g},Studio {i},"A classic {g} experience"'
+             for i, g in enumerate(games)]
+    symphony.upload_http(account, "inventory.csv",
+                         "\n".join(rows).encode(), "inventory",
+                         content_type="text/csv")
+    inventory = symphony.add_proprietary_source(
+        account, "inventory",
+        search_fields=("title", "producer", "description"),
+    )
+    reviews = symphony.add_web_source(
+        "Game reviews", "web",
+        sites=("gamespot.com", "ign.com", "teamxbox.com"),
+    )
+    session = symphony.designer().new_application(
+        "GamerQueen", account.tenant.tenant_id
+    )
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=3,
+        search_fields=("title", "producer", "description"),
+    )
+    session.add_hyperlink(slot, "title")
+    session.add_text(slot, "description")
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews", max_results=2, query_suffix="review",
+    )
+    return symphony.host(session), games, session
 
 
 def _cmd_stats(args) -> int:
@@ -96,37 +135,8 @@ def _cmd_table1(args) -> int:
 
 def _cmd_demo(args) -> int:
     symphony = _build_platform(args.seed)
-    account = symphony.register_designer("Ann")
-    games = symphony.web.entities["video_games"][:5]
-    rows = ["title,producer,description"]
-    rows += [f'{g},Studio {i},"A classic {g} experience"'
-             for i, g in enumerate(games)]
-    symphony.upload_http(account, "inventory.csv",
-                         "\n".join(rows).encode(), "inventory",
-                         content_type="text/csv")
-    inventory = symphony.add_proprietary_source(
-        account, "inventory",
-        search_fields=("title", "producer", "description"),
-    )
-    reviews = symphony.add_web_source(
-        "Game reviews", "web",
-        sites=("gamespot.com", "ign.com", "teamxbox.com"),
-    )
-    session = symphony.designer().new_application(
-        "GamerQueen", account.tenant.tenant_id
-    )
-    slot = session.drag_source_onto_app(
-        inventory.source_id, heading="Games", max_results=3,
-        search_fields=("title", "producer", "description"),
-    )
-    session.add_hyperlink(slot, "title")
-    session.add_text(slot, "description")
-    session.drag_source_onto_result_layout(
-        slot, reviews.source_id, drive_fields=("title",),
-        heading="Reviews", max_results=2, query_suffix="review",
-    )
+    app_id, games, session = _build_demo_app(symphony)
     print(session.describe_canvas())
-    app_id = symphony.host(session)
     query = args.query or games[0]
     response = symphony.query(app_id, query, session_id="cli-demo")
     print()
@@ -137,6 +147,33 @@ def _cmd_demo(args) -> int:
         for result in view.supplemental.values():
             for item in result.items:
                 print(f"    review: {item.title} ({item.get('site')})")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import load_jsonl, render_report
+
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as fileobj:
+            data = load_jsonl(fileobj)
+        print(render_report(data))
+        return 0
+
+    # No input file: run one traced demo query against a telemetry-
+    # enabled clustered deployment and report what it recorded.
+    symphony = _build_platform(args.seed, cluster=args.shards,
+                               telemetry=True)
+    app_id, games, __ = _build_demo_app(symphony)
+    query = args.query or games[0]
+    symphony.query(app_id, query, session_id="cli-telemetry")
+    if args.output:
+        count = symphony.export_telemetry(args.output)
+        print(f"wrote {count} JSONL lines to {args.output}")
+        print()
+    if args.prometheus:
+        print(symphony.telemetry.render_prometheus())
+        return 0
+    print(symphony.telemetry_report())
     return 0
 
 
@@ -170,6 +207,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the GamerQueen demo")
     demo.add_argument("--query", default="")
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="trace a demo query (or report an exported JSONL file)",
+    )
+    telemetry.add_argument("--query", default="",
+                           help="query to trace (default: first game)")
+    telemetry.add_argument("--shards", type=int, default=2,
+                           help="cluster shard count (default 2)")
+    telemetry.add_argument("--input", default="",
+                           help="report a previously exported JSONL "
+                                "file instead of running a query")
+    telemetry.add_argument("--output", default="",
+                           help="also export collected telemetry as "
+                                "JSONL to this path")
+    telemetry.add_argument("--prometheus", action="store_true",
+                           help="print Prometheus text exposition "
+                                "instead of the report")
     return parser
 
 
@@ -179,6 +234,7 @@ _COMMANDS = {
     "suggest": _cmd_suggest,
     "table1": _cmd_table1,
     "demo": _cmd_demo,
+    "telemetry": _cmd_telemetry,
 }
 
 

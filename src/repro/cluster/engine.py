@@ -39,6 +39,7 @@ from repro.searchengine.logs import QueryEvent, QueryLog
 from repro.searchengine.query import extract_terms, parse_query
 from repro.searchengine.spelling import SpellingCorrector
 from repro.searchengine.stats import CorpusStats
+from repro.telemetry import Telemetry
 from repro.util import SimClock
 
 from repro.cluster.executor import ScatterGatherExecutor, merge_ranked
@@ -145,7 +146,8 @@ class ClusteredSearchEngine:
                  authority: dict | None = None,
                  clock: SimClock | None = None,
                  log: QueryLog | None = None,
-                 config: ClusterConfig | None = None) -> None:
+                 config: ClusterConfig | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         if len(groups) != router.num_shards:
             raise ValueError("one replica group per shard required")
         self.groups = list(groups)
@@ -154,6 +156,13 @@ class ClusteredSearchEngine:
         self.clock = clock or SimClock()
         self.log = log or QueryLog()
         self.config = config or ClusterConfig(num_shards=len(groups))
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._tracer = self.telemetry.tracer
+        self._metrics = self.telemetry.metrics
+        for group in self.groups:
+            group.tracer = self._tracer
+            if self.telemetry.enabled:
+                group.events = self.telemetry.events
         self.executor = ScatterGatherExecutor(
             max_workers=self.config.max_workers or len(groups),
             shard_timeout_s=self.config.shard_timeout_s,
@@ -225,11 +234,42 @@ class ClusteredSearchEngine:
 
     # -- the SearchEngine contract --------------------------------------------
 
+    def _shard_task(self, group, phase: str, fn):
+        """Wrap ``group.run(fn)`` in a per-shard span.
+
+        The span opens on the worker thread, under the context the
+        executor copied at scatter time, so it parents beneath the
+        phase span. Names are unique per shard (``exec:shard-3``) —
+        the tracer's content-derived ids stay deterministic however
+        the OS interleaves the workers.
+        """
+        tracer = self._tracer
+        if not tracer.enabled:
+            return lambda: group.run(fn)
+        label = f"{phase}:shard-{group.shard_id}"
+
+        def task():
+            with tracer.span(label):
+                return group.run(fn)
+        return task
+
     def search(self, vertical, query_text: str,
                options: SearchOptions | None = None,
                app_id: str | None = None,
                session_id: str | None = None) -> ClusterSearchResponse:
         """Scatter ``query_text`` across shards and gather global top-k."""
+        with self._tracer.span("cluster.search") as root:
+            if root:
+                root.set("query", query_text)
+                root.set("vertical", Vertical(vertical).value)
+            return self._search_traced(
+                vertical, query_text, options, app_id, session_id,
+                root,
+            )
+
+    def _search_traced(self, vertical, query_text: str, options,
+                       app_id, session_id,
+                       root) -> ClusterSearchResponse:
         options = options or SearchOptions()
         vkey = Vertical(vertical)
         reference = self.reference_vertical(vkey)
@@ -242,14 +282,14 @@ class ClusteredSearchEngine:
         # Phase 1: gather global statistics (skipped for pure-filter
         # queries, which BM25 never scores).
         if terms:
-            outcomes = self.executor.scatter({
-                group.shard_id: (
-                    lambda g=group: g.run(
-                        lambda r: r.collect_stats(vkey, terms)
+            with self._tracer.span("phase:stats"):
+                outcomes = self.executor.scatter({
+                    group.shard_id: self._shard_task(
+                        group, "stats",
+                        lambda r: r.collect_stats(vkey, terms),
                     )
-                )
-                for group in self.groups
-            })
+                    for group in self.groups
+                })
             failed |= {sid for sid, out in outcomes.items()
                        if not out.ok}
             stats = CorpusStats.merge(
@@ -263,20 +303,21 @@ class ClusteredSearchEngine:
         # gather phase can materialize results from it.
         served: dict[int, ShardReplica] = {}
 
-        def run_shard(group):
-            def task(replica):
-                scored, count = replica.execute(
-                    vkey, node, options, terms, stats, now_ms
-                )
-                return replica, scored, count
-            return group.run(task)
+        def run_shard(replica):
+            scored, count = replica.execute(
+                vkey, node, options, terms, stats, now_ms
+            )
+            return replica, scored, count
 
-        outcomes = self.executor.scatter({
-            group.shard_id: (lambda g=group: run_shard(g))
-            for group in self.groups if group.shard_id not in failed
-        })
+        with self._tracer.span("phase:execute"):
+            outcomes = self.executor.scatter({
+                group.shard_id: self._shard_task(group, "exec",
+                                                 run_shard)
+                for group in self.groups
+                if group.shard_id not in failed
+            })
         shard_lists: dict[int, list] = {}
-        candidate_counts: list[int] = []
+        candidate_counts: dict[int, int] = {}
         for sid, outcome in outcomes.items():
             if not outcome.ok:
                 failed.add(sid)
@@ -284,11 +325,22 @@ class ClusteredSearchEngine:
             replica, scored, count = outcome.value
             served[sid] = replica
             shard_lists[sid] = scored
-            candidate_counts.append(count)
+            candidate_counts[sid] = count
+
+        if self._metrics.enabled:
+            latency = self._metrics.histogram("shard_latency_ms")
+            for sid in sorted(candidate_counts):
+                latency.observe(
+                    simulated_latency_ms(candidate_counts[sid])
+                )
+            if failed:
+                self._metrics.counter("shard_failures_total").inc(
+                    len(failed)
+                )
 
         # Gather: parallel shards cost max-over-shards, not the sum.
         elapsed = simulated_latency_ms(
-            max(candidate_counts, default=0)
+            max(candidate_counts.values(), default=0)
         )
         self.clock.advance(elapsed)
 
@@ -304,6 +356,16 @@ class ClusteredSearchEngine:
         suggestion = None
         if total_matches == 0 and terms and not failed:
             suggestion = self._suggest(vkey, terms)
+        degraded = bool(failed)
+        if degraded:
+            if root:
+                root.set("degraded", True)
+                root.set("failed_shards", sorted(failed))
+            self._metrics.counter("degraded_queries_total").inc()
+            self.telemetry.events.emit(
+                "cluster.degraded", query=query_text,
+                failed_shards=sorted(failed),
+            )
         response = ClusterSearchResponse(
             query=query_text,
             vertical=vkey.value,
@@ -311,7 +373,7 @@ class ClusteredSearchEngine:
             total_matches=total_matches,
             elapsed_ms=elapsed,
             suggestion=suggestion,
-            degraded=bool(failed),
+            degraded=degraded,
             shards_total=self.num_shards,
             shards_ok=self.num_shards - len(failed),
             failed_shards=tuple(sorted(failed)),
@@ -331,15 +393,15 @@ class ClusteredSearchEngine:
         """Facets over the union candidate set (degraded shards skipped)."""
         vkey = Vertical(vertical)
         self.clock.advance(simulated_latency_ms(0))
-        outcomes = self.executor.scatter({
-            group.shard_id: (
-                lambda g=group: g.run(
+        with self._tracer.span("cluster.facets"):
+            outcomes = self.executor.scatter({
+                group.shard_id: self._shard_task(
+                    group, "facets",
                     lambda r: r.compute_facets(vkey, query_text,
-                                               facet_fields)
+                                               facet_fields),
                 )
-            )
-            for group in self.groups
-        })
+                for group in self.groups
+            })
         merged: dict[str, dict[str, int]] = {
             name: {} for name in facet_fields
         }
@@ -387,7 +449,8 @@ class ClusteredSearchEngine:
 def build_clustered_engine(web, config: ClusterConfig | None = None,
                            clock: SimClock | None = None,
                            use_authority: bool = True,
-                           log: QueryLog | None = None
+                           log: QueryLog | None = None,
+                           telemetry: Telemetry | None = None
                            ) -> ClusteredSearchEngine:
     """Index a synthetic web into a ready-to-query cluster.
 
@@ -415,7 +478,7 @@ def build_clustered_engine(web, config: ClusterConfig | None = None,
     ]
     engine = ClusteredSearchEngine(
         groups, router, authority=authority, clock=clock, log=log,
-        config=config,
+        config=config, telemetry=telemetry,
     )
     for vertical, document in iter_corpus_documents(web):
         shard_id = router.shard_of(document.doc_id)

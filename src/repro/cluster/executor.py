@@ -8,6 +8,7 @@ O(k log num_shards), not a global re-sort.
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as _Timeout
 from dataclasses import dataclass
@@ -54,12 +55,17 @@ class ScatterGatherExecutor:
         Returns ``{shard_id: ShardOutcome}``; a thunk that raises or
         exceeds the per-shard timeout yields a failed outcome instead of
         propagating, so one slow or dead shard cannot fail the query.
+
+        Each task runs under a copy of the caller's ``contextvars``
+        context, so ambient state — in particular the current telemetry
+        span — propagates onto the worker threads and spans opened
+        inside a shard task parent under the span that scattered it.
         """
         if not tasks:
             return {}
         pool = self._ensure_pool(len(tasks))
         futures = {
-            shard_id: pool.submit(thunk)
+            shard_id: pool.submit(contextvars.copy_context().run, thunk)
             for shard_id, thunk in tasks.items()
         }
         outcomes: dict[int, ShardOutcome] = {}

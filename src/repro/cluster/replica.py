@@ -32,6 +32,7 @@ from repro.searchengine.engine import (
 from repro.searchengine.ranking import BM25Scorer
 from repro.searchengine.spelling import collect_term_frequencies
 from repro.searchengine.stats import CorpusStats, StatsOverlayIndex
+from repro.telemetry.trace import NULL_TRACER
 
 __all__ = ["ShardReplica", "ReplicaGroup"]
 
@@ -148,6 +149,11 @@ class ReplicaGroup:
         self.shard_id = shard_id
         self.replicas = list(replicas)
         self.failure_threshold = failure_threshold
+        # Telemetry hooks, installed by the owning cluster engine. The
+        # tracer parents attempt spans under whatever span scattered
+        # the request onto this group's worker thread.
+        self.tracer = NULL_TRACER
+        self.events = None
         self._rotation = itertools.count()
         self._consecutive_failures = [0] * len(self.replicas)
         self._lock = threading.Lock()
@@ -196,19 +202,37 @@ class ReplicaGroup:
             if not replica.healthy:
                 errors.append(f"{replica.replica_id}: down")
                 continue
-            try:
-                result = fn(replica)
-            except ReproError as exc:
-                errors.append(f"{replica.replica_id}: {exc}")
+            with self.tracer.span(
+                    f"attempt:{replica.replica_id}") as span:
+                try:
+                    result = fn(replica)
+                except ReproError as exc:
+                    errors.append(f"{replica.replica_id}: {exc}")
+                    if span:
+                        span.status = "error"
+                        span.set("error", str(exc))
+                    removed = False
+                    with self._lock:
+                        self._consecutive_failures[index] += 1
+                        if (self._consecutive_failures[index]
+                                >= self.failure_threshold):
+                            replica.kill()
+                            removed = True
+                    if self.events is not None:
+                        self.events.emit(
+                            "replica.failover",
+                            shard=self.shard_id,
+                            replica=replica.replica_id,
+                            error=str(exc),
+                            removed_from_rotation=removed,
+                        )
+                    continue
                 with self._lock:
-                    self._consecutive_failures[index] += 1
-                    if (self._consecutive_failures[index]
-                            >= self.failure_threshold):
-                        replica.kill()
-                continue
-            with self._lock:
-                self._consecutive_failures[index] = 0
-            return result
+                    self._consecutive_failures[index] = 0
+                return result
+        if self.events is not None:
+            self.events.emit("shard.unavailable", shard=self.shard_id,
+                             attempts=len(errors))
         raise ShardUnavailableError(
             f"shard {self.shard_id} unavailable: " + "; ".join(errors)
         )

@@ -49,6 +49,7 @@ from repro.simweb.generator import WebGenerator, WebSpec
 from repro.sitesuggest import SiteCooccurrenceGraph, SiteSuggest
 from repro.storage.tenant import StorageCatalog, Tenant
 from repro.storage.tokens import Scope
+from repro.telemetry import Telemetry
 from repro.util import IdGenerator, SimClock
 
 __all__ = ["DesignerAccount", "Symphony"]
@@ -76,8 +77,15 @@ class Symphony:
                  clock: SimClock | None = None,
                  cache_enabled: bool = True,
                  use_authority: bool = True,
-                 cluster=None) -> None:
+                 cluster=None,
+                 telemetry: Telemetry | bool | None = None) -> None:
         self.clock = clock or SimClock()
+        # Opt-in observability: pass an existing Telemetry or True to
+        # build one on the platform clock; None/False disables it with
+        # the allocation-free null instruments.
+        if telemetry is True:
+            telemetry = Telemetry(clock=self.clock)
+        self.telemetry = telemetry or Telemetry.disabled()
         self.web = web if web is not None else WebGenerator(
             web_spec or WebSpec()
         ).build()
@@ -92,6 +100,7 @@ class Symphony:
             self.engine = build_clustered_engine(
                 self.web, config=cluster, clock=self.clock,
                 use_authority=use_authority,
+                telemetry=self.telemetry,
             )
         else:
             self.engine = build_engine(
@@ -101,6 +110,8 @@ class Symphony:
         self.catalog = StorageCatalog(ids=self.ids)
         self.bus = ServiceBus(clock=self.clock)
         self.ads = AdService(ids=self.ids)
+        if self.telemetry.enabled:
+            self.ads.attach_telemetry(self.telemetry)
         self.bus.register(self.ads)
         self.themes = ThemeRegistry()
         self.sources = SourceRegistry()
@@ -113,6 +124,7 @@ class Symphony:
             clock=self.clock,
             log=self.engine.log,
             cache_enabled=cache_enabled,
+            telemetry=self.telemetry,
         )
         self.publisher = Publisher()
         self.publisher.register_platform(SocialPlatform("facebook"))
@@ -153,13 +165,19 @@ class Symphony:
             account.token, account.tenant.tenant_id, Scope.WRITE
         )
 
+    def _ingestor(self, tenant: Tenant) -> DatasetIngestor:
+        return DatasetIngestor(
+            tenant,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
+        )
+
     def upload_http(self, account: DesignerAccount, filename: str,
                     data: bytes, table_name: str,
                     content_type: str = "text/plain",
                     **ingest_options) -> IngestReport:
         tenant = self._authorized_tenant(account)
         payload = self.http_uploads.post_file(filename, data, content_type)
-        return DatasetIngestor(tenant).ingest(
+        return self._ingestor(tenant).ingest(
             payload, table_name, **ingest_options
         )
 
@@ -168,7 +186,7 @@ class Symphony:
                    **ingest_options) -> IngestReport:
         tenant = self._authorized_tenant(account)
         payload = self.ftp.retrieve(path, content_type)
-        return DatasetIngestor(tenant).ingest(
+        return self._ingestor(tenant).ingest(
             payload, table_name, **ingest_options
         )
 
@@ -179,7 +197,7 @@ class Symphony:
             f"{domain}.rss", self.feeds.feed_xml(domain),
             "application/rss+xml",
         )
-        return DatasetIngestor(tenant).ingest(
+        return self._ingestor(tenant).ingest(
             payload, table_name, **ingest_options
         )
 
@@ -187,7 +205,7 @@ class Symphony:
                    policy: CrawlPolicy | None = None) -> IngestReport:
         tenant = self._authorized_tenant(account)
         result = Crawler(self.web, clock=self.clock).crawl(seeds, policy)
-        return DatasetIngestor(tenant).ingest_rows(
+        return self._ingestor(tenant).ingest_rows(
             result.rows(), table_name
         )
 
@@ -304,6 +322,16 @@ class Symphony:
             page=page,
         ))
 
+    # -- observability (repro.telemetry) ----------------------------------------------
+
+    def telemetry_report(self) -> str:
+        """Human-readable span/event/metric report for this deployment."""
+        return self.telemetry.report()
+
+    def export_telemetry(self, path) -> int:
+        """Write collected telemetry as JSONL; returns the line count."""
+        return self.telemetry.export_jsonl(path)
+
     # -- monetization (§II-A Monetization) --------------------------------------------
 
     def record_click(self, app_id: str, query: str, url: str,
@@ -399,7 +427,7 @@ class Symphony:
                                table_name: str) -> IngestReport:
         """Structured-data probe: Symphony supports various uploads."""
         tenant = self._authorized_tenant(account)
-        return DatasetIngestor(tenant).ingest_rows(rows, table_name)
+        return self._ingestor(tenant).ingest_rows(rows, table_name)
 
     def monetization_policy(self) -> dict:
         return {

@@ -24,6 +24,7 @@ from repro.core.datasources import (
 from repro.core.presentation import HtmlRenderer
 from repro.errors import NotFoundError, QuotaExceededError, ReproError
 from repro.searchengine.logs import QueryEvent
+from repro.telemetry import Telemetry, render_span_tree
 from repro.util import SimClock
 
 __all__ = [
@@ -56,18 +57,35 @@ class StageTiming:
     detail: str = ""
 
 
-@dataclass
 class PipelineTrace:
-    """Per-stage timings and warnings for one executed query."""
+    """Per-stage timings and warnings for one executed query.
 
-    stages: list = field(default_factory=list)
-    warnings: list = field(default_factory=list)
-    cache_hits: int = 0
-    cache_misses: int = 0
+    With telemetry enabled this is a thin view over the query's span
+    tree: ``span`` is the root :class:`~repro.telemetry.trace.Span`
+    and ``describe(tree=True)`` renders the full hierarchy (stages,
+    per-source calls, shard and replica attempts). Without telemetry
+    it is exactly the flat stage list it always was.
+    """
+
+    __slots__ = ("stages", "warnings", "span", "cache_hits",
+                 "cache_misses")
+
+    def __init__(self, span=None) -> None:
+        self.stages: list = []
+        self.warnings: list = []
+        self.span = span
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def add_stage(self, name: str, elapsed_ms: float,
                   detail: str = "") -> None:
         self.stages.append(StageTiming(name, round(elapsed_ms, 3), detail))
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
 
     def stage(self, name: str) -> StageTiming:
         for stage in self.stages:
@@ -78,7 +96,17 @@ class PipelineTrace:
     def total_ms(self) -> float:
         return round(sum(s.elapsed_ms for s in self.stages), 3)
 
-    def describe(self) -> str:
+    def describe(self, tree: bool = False) -> str:
+        if tree and self.span is not None:
+            spans = self.span.tracer.trace_spans(self.span.trace_id)
+            lines = ["Pipeline trace (span tree):"]
+            lines.extend(
+                f"  {line}"
+                for line in render_span_tree(spans).splitlines()
+            )
+            for warning in self.warnings:
+                lines.append(f"  warning: {warning}")
+            return "\n".join(lines)
         lines = ["Pipeline trace:"]
         for stage in self.stages:
             detail = f"  ({stage.detail})" if stage.detail else ""
@@ -128,6 +156,10 @@ class ResultCache:
         self.ttl_ms = ttl_ms
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._ttl_evictions = 0
+        self._lru_evictions = 0
 
     def _prune(self, now_ms: int) -> None:
         # Sweep TTL-dead entries first; only then apply the LRU cap.
@@ -137,20 +169,37 @@ class ResultCache:
         ]
         for key in expired:
             del self._entries[key]
+        self._ttl_evictions += len(expired)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self._lru_evictions += 1
 
     def get(self, key, now_ms: int):
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
+                self._misses += 1
                 return None
             stored_ms, value = entry
             if now_ms - stored_ms > self.ttl_ms:
                 del self._entries[key]
+                self._ttl_evictions += 1
+                self._misses += 1
                 return None
             self._entries.move_to_end(key)
+            self._hits += 1
             return value
+
+    def stats(self) -> dict:
+        """Lifetime cache statistics (feeds the metrics registry)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "ttl_evictions": self._ttl_evictions,
+                "lru_evictions": self._lru_evictions,
+                "entries": len(self._entries),
+            }
 
     def put(self, key, value, now_ms: int) -> None:
         with self._lock:
@@ -179,7 +228,7 @@ class CircuitBreaker:
     """
 
     def __init__(self, clock, failure_threshold: int = 3,
-                 cooldown_ms: int = 60_000) -> None:
+                 cooldown_ms: int = 60_000, events=None) -> None:
         if failure_threshold <= 0 or cooldown_ms <= 0:
             raise ValueError(
                 "circuit breaker parameters must be positive"
@@ -187,10 +236,15 @@ class CircuitBreaker:
         self._clock = clock
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
+        self._events = events
         self._consecutive_failures: dict[str, int] = {}
         self._opened_at_ms: dict[str, int] = {}
         self._half_open: set[str] = set()
         self._lock = threading.RLock()
+
+    def _emit(self, kind: str, source_id: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, source=source_id, **fields)
 
     def is_open(self, source_id: str) -> bool:
         with self._lock:
@@ -204,6 +258,7 @@ class CircuitBreaker:
             if source_id in self._half_open:
                 return True
             self._half_open.add(source_id)
+            self._emit("circuit.half_open", source_id)
             return False
 
     def record_failure(self, source_id: str) -> None:
@@ -215,17 +270,26 @@ class CircuitBreaker:
                 self._consecutive_failures[source_id] = \
                     self.failure_threshold
                 self._opened_at_ms[source_id] = self._clock.now_ms
+                self._emit("circuit.reopen", source_id)
                 return
             count = self._consecutive_failures.get(source_id, 0) + 1
             self._consecutive_failures[source_id] = count
             if count >= self.failure_threshold:
+                was_open = source_id in self._opened_at_ms
                 self._opened_at_ms[source_id] = self._clock.now_ms
+                if not was_open:
+                    self._emit("circuit.open", source_id,
+                               failures=count)
 
     def record_success(self, source_id: str) -> None:
         with self._lock:
+            was_tripped = (source_id in self._half_open
+                           or source_id in self._opened_at_ms)
             self._half_open.discard(source_id)
             self._consecutive_failures.pop(source_id, None)
             self._opened_at_ms.pop(source_id, None)
+            if was_tripped:
+                self._emit("circuit.closed", source_id)
 
     def state(self, source_id: str) -> str:
         with self._lock:
@@ -247,12 +311,13 @@ class RateLimiter:
     """
 
     def __init__(self, clock, max_requests: int = 600,
-                 window_ms: int = 60_000) -> None:
+                 window_ms: int = 60_000, events=None) -> None:
         if max_requests <= 0 or window_ms <= 0:
             raise ValueError("rate limit parameters must be positive")
         self._clock = clock
         self.max_requests = max_requests
         self.window_ms = window_ms
+        self._sink = events
         # Timestamps are appended in clock order, so eviction is always
         # from the left: a deque makes that O(1) per expired event where
         # list.pop(0) was O(n) at exactly the traffic the limiter exists
@@ -272,6 +337,12 @@ class RateLimiter:
             events = self._events.setdefault(app_id, deque())
             self._evict(events, horizon)
             if len(events) >= self.max_requests:
+                if self._sink is not None:
+                    self._sink.emit(
+                        "ratelimit.rejected", app_id=app_id,
+                        limit=self.max_requests,
+                        window_ms=self.window_ms,
+                    )
                 raise QuotaExceededError(
                     f"application {app_id} exceeded "
                     f"{self.max_requests} requests per "
@@ -362,7 +433,8 @@ class SymphonyRuntime:
                  supplemental_mode: str = "per_result",
                  rate_limiter: "RateLimiter | None" = None,
                  circuit_breaker: "CircuitBreaker | None" = None,
-                 community_feedback=None) -> None:
+                 community_feedback=None,
+                 telemetry: Telemetry | None = None) -> None:
         if supplemental_mode not in ("per_result", "batched"):
             raise ValueError(
                 f"unknown supplemental mode {supplemental_mode!r}"
@@ -372,15 +444,22 @@ class SymphonyRuntime:
         self._renderer = renderer or HtmlRenderer()
         self.clock = clock or SimClock()
         self._log = log
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._tracer = self.telemetry.tracer
+        self._metrics = self.telemetry.metrics
         self.cache = cache or ResultCache()
         self.cache_enabled = cache_enabled
+        if self.telemetry.enabled:
+            self.telemetry.bind_result_cache(self.cache)
         # DESIGN.md §6 ablation: derive one focused query per primary
         # result (the paper's flow) vs one disjunctive query per
         # supplemental binding, fanned back out to the results.
         self.supplemental_mode = supplemental_mode
         self.rate_limiter = rate_limiter
         self.circuit_breaker = circuit_breaker or CircuitBreaker(
-            self.clock
+            self.clock,
+            events=(self.telemetry.events if self.telemetry.enabled
+                    else None),
         )
         # Social search (future work item 3): when attached, community
         # votes re-rank each application's primary results.
@@ -389,13 +468,37 @@ class SymphonyRuntime:
     # -- entry point ----------------------------------------------------------
 
     def handle_query(self, request: QueryRequest) -> ApplicationResponse:
-        trace = PipelineTrace()
+        with self._tracer.span("query") as root:
+            if root:
+                root.set("app_id", request.app_id)
+                root.set("query", request.query_text)
+            response = self._handle_query_traced(request,
+                                                 root or None)
+        if self._metrics.enabled:
+            self._metrics.counter("queries_total").inc()
+            for stage in response.trace.stages:
+                self._metrics.histogram(
+                    "stage_ms", stage=stage.name
+                ).observe(stage.elapsed_ms)
+            self._metrics.histogram("query_total_ms").observe(
+                response.trace.total_ms()
+            )
+            if response.trace.warnings:
+                self._metrics.counter("query_warnings_total").inc(
+                    len(response.trace.warnings)
+                )
+        return response
+
+    def _handle_query_traced(self, request: QueryRequest,
+                             root) -> ApplicationResponse:
+        trace = PipelineTrace(span=root)
         app = self._apps.get(request.app_id)
         if self.rate_limiter is not None:
             self.rate_limiter.check(app.app_id)
 
         # Stage: JS shim forwards the query to Symphony.
-        self.clock.advance(self._SHIM_FORWARD_MS)
+        with self._tracer.span("stage:receive"):
+            self.clock.advance(self._SHIM_FORWARD_MS)
         trace.add_stage("receive", self._SHIM_FORWARD_MS,
                         f"query {request.query_text!r} from "
                         f"app {app.app_id}")
@@ -408,8 +511,13 @@ class SymphonyRuntime:
 
         # Stage: merge + format to HTML.
         start_ms = self.clock.now_ms
-        html = self._renderer.render_app(app, views, ads)
-        self.clock.advance(1.0 + 0.02 * len(html) / 100.0)
+        with self._tracer.span("stage:merge+render") as sp:
+            html = self._renderer.render_app(app, views, ads)
+            self.clock.advance(1.0 + 0.02 * len(html) / 100.0)
+            if sp:
+                sp.set("views", len(views))
+                sp.set("ads", len(ads))
+                sp.set("bytes", len(html))
         trace.add_stage(
             "merge+render", self.clock.now_ms - start_ms,
             f"{len(views)} primary views, {len(ads)} ads, "
@@ -417,7 +525,8 @@ class SymphonyRuntime:
         )
 
         # Stage: respond to the shim, which injects into the page.
-        self.clock.advance(self._RESPOND_MS)
+        with self._tracer.span("stage:respond"):
+            self.clock.advance(self._RESPOND_MS)
         trace.add_stage("respond", self._RESPOND_MS, "HTML to JS shim")
 
         if self._log is not None:
@@ -449,13 +558,16 @@ class SymphonyRuntime:
         if not customer_bindings:
             return query_text
         start = self.clock.now_ms
-        for binding in customer_bindings:
-            source = self._registry.get(binding.source_id)
-            if isinstance(source, CustomerProfileSource):
-                query_text = source.rewrite(
-                    query_text, request.customer_id or None
-                )
-        self.clock.advance(0.5)
+        with self._tracer.span("stage:customer-rewrite") as sp:
+            for binding in customer_bindings:
+                source = self._registry.get(binding.source_id)
+                if isinstance(source, CustomerProfileSource):
+                    query_text = source.rewrite(
+                        query_text, request.customer_id or None
+                    )
+            self.clock.advance(0.5)
+            if sp:
+                sp.set("rewritten", query_text != request.query_text)
         trace.add_stage(
             "customer-rewrite", self.clock.now_ms - start,
             (f"rewritten to {query_text!r}"
@@ -476,26 +588,29 @@ class SymphonyRuntime:
         primary_start = self.clock.now_ms
         primary_count = 0
         page = max(0, request.page)
-        for slot in app.slots:
-            binding = app.binding(slot.binding_id)
-            if binding.role == SourceRole.PRIMARY:
-                result = self._query_source(
-                    binding, query_text, context, trace,
-                    search_fields=binding.search_fields,
-                    offset=page * binding.max_results,
-                )
-                items = list(result.items)
-                if self.community_feedback is not None:
-                    items = self.community_feedback.rerank(
-                        app.app_id, items
+        with self._tracer.span("stage:primary") as stage_span:
+            for slot in app.slots:
+                binding = app.binding(slot.binding_id)
+                if binding.role == SourceRole.PRIMARY:
+                    result = self._query_source(
+                        binding, query_text, context, trace,
+                        search_fields=binding.search_fields,
+                        offset=page * binding.max_results,
                     )
-                primary_count += len(items)
-                for item in items:
-                    views.append(PrimaryResultView(
-                        slot_binding_id=slot.binding_id,
-                        item=item,
-                        supplemental={},
-                    ))
+                    items = list(result.items)
+                    if self.community_feedback is not None:
+                        items = self.community_feedback.rerank(
+                            app.app_id, items
+                        )
+                    primary_count += len(items)
+                    for item in items:
+                        views.append(PrimaryResultView(
+                            slot_binding_id=slot.binding_id,
+                            item=item,
+                            supplemental={},
+                        ))
+            if stage_span:
+                stage_span.set("items", primary_count)
         trace.add_stage(
             "primary", self.clock.now_ms - primary_start,
             f"{primary_count} items",
@@ -504,9 +619,13 @@ class SymphonyRuntime:
         # Stage: supplemental fan-out, driven by primary-result fields.
         supplemental_start = self.clock.now_ms
         if self.supplemental_mode == "batched":
-            views, supplemental_queries = self._supplemental_batched(
-                app, views, context, trace
-            )
+            with self._tracer.span("stage:supplemental") as stage_span:
+                views, supplemental_queries = self._supplemental_batched(
+                    app, views, context, trace
+                )
+                if stage_span:
+                    stage_span.set("mode", "batched")
+                    stage_span.set("queries", supplemental_queries)
             trace.add_stage(
                 "supplemental", self.clock.now_ms - supplemental_start,
                 f"{supplemental_queries} batched queries",
@@ -514,41 +633,45 @@ class SymphonyRuntime:
             return self._finish_sources(app, request, views, trace)
         supplemental_queries = 0
         enriched: list[PrimaryResultView] = []
-        for view in views:
-            slot = self._slot_by_binding(app, view.slot_binding_id)
-            supplemental: dict[str, SourceResult] = {}
-            for child in slot.children:
-                child_binding = app.binding(child.binding_id)
-                derived = self._derive_query(child_binding, view.item)
-                if not derived:
-                    trace.warnings.append(
-                        f"binding {child.binding_id}: drive fields "
-                        f"{child_binding.drive_fields} empty on item "
-                        f"{view.item.item_id!r}"
-                    )
-                    supplemental[child.binding_id] = SourceResult.empty(
-                        child_binding.source_id
-                    )
-                    continue
-                supplemental_queries += 1
-                result = self._query_source(
-                    child_binding, derived, context, trace,
-                )
-                if not result.items and child_binding.query_suffix:
-                    # Focused query too narrow: retry on drive values only.
-                    relaxed = self._derive_query(
-                        child_binding, view.item, with_suffix=False
-                    )
+        with self._tracer.span("stage:supplemental") as stage_span:
+            for view in views:
+                slot = self._slot_by_binding(app, view.slot_binding_id)
+                supplemental: dict[str, SourceResult] = {}
+                for child in slot.children:
+                    child_binding = app.binding(child.binding_id)
+                    derived = self._derive_query(child_binding, view.item)
+                    if not derived:
+                        trace.warnings.append(
+                            f"binding {child.binding_id}: drive fields "
+                            f"{child_binding.drive_fields} empty on item "
+                            f"{view.item.item_id!r}"
+                        )
+                        supplemental[child.binding_id] = \
+                            SourceResult.empty(child_binding.source_id)
+                        continue
                     supplemental_queries += 1
                     result = self._query_source(
-                        child_binding, relaxed, context, trace,
+                        child_binding, derived, context, trace,
                     )
-                supplemental[child.binding_id] = result
-            enriched.append(PrimaryResultView(
-                slot_binding_id=view.slot_binding_id,
-                item=view.item,
-                supplemental=supplemental,
-            ))
+                    if not result.items and child_binding.query_suffix:
+                        # Focused query too narrow: retry on drive
+                        # values only.
+                        relaxed = self._derive_query(
+                            child_binding, view.item, with_suffix=False
+                        )
+                        supplemental_queries += 1
+                        result = self._query_source(
+                            child_binding, relaxed, context, trace,
+                        )
+                    supplemental[child.binding_id] = result
+                enriched.append(PrimaryResultView(
+                    slot_binding_id=view.slot_binding_id,
+                    item=view.item,
+                    supplemental=supplemental,
+                ))
+            if stage_span:
+                stage_span.set("mode", "per_result")
+                stage_span.set("queries", supplemental_queries)
         views = enriched
         trace.add_stage(
             "supplemental", self.clock.now_ms - supplemental_start,
@@ -567,13 +690,16 @@ class SymphonyRuntime:
         ads_start = self.clock.now_ms
         ad_bindings = app.bindings_by_role(SourceRole.ADS)
         ad_items: list = []
-        for binding in ad_bindings:
-            result = self._query_source(
-                binding, request.query_text, context, trace,
-                cacheable=False,
-            )
-            ad_items.extend(result.items)
         if ad_bindings:
+            with self._tracer.span("stage:ads") as stage_span:
+                for binding in ad_bindings:
+                    result = self._query_source(
+                        binding, request.query_text, context, trace,
+                        cacheable=False,
+                    )
+                    ad_items.extend(result.items)
+                if stage_span:
+                    stage_span.set("ads", len(ad_items))
             trace.add_stage(
                 "ads", self.clock.now_ms - ads_start,
                 f"{len(ad_items)} ads",
@@ -702,31 +828,43 @@ class SymphonyRuntime:
         if self.cache_enabled and cacheable:
             cached = self.cache.get(cache_key, self.clock.now_ms)
             if cached is not None:
-                trace.cache_hits += 1
+                trace.record_cache(True)
                 return cached
-            trace.cache_misses += 1
-        if self.circuit_breaker.is_open(binding.source_id):
-            trace.warnings.append(
-                f"source {binding.source_id} skipped: circuit open "
-                "after repeated failures"
-            )
-            return SourceResult.empty(binding.source_id)
-        self.clock.advance(self._DISPATCH_MS)
-        try:
-            result = source.search(SourceQuery(
-                text=query_text,
-                count=binding.max_results,
-                offset=offset,
-                context=query_context,
-            ))
-        except ReproError as exc:
-            # Error isolation: a failing source must not take down the app.
-            self.circuit_breaker.record_failure(binding.source_id)
-            trace.warnings.append(
-                f"source {binding.source_id} failed: {exc}"
-            )
-            return SourceResult.empty(binding.source_id)
-        self.circuit_breaker.record_success(binding.source_id)
+            trace.record_cache(False)
+        with self._tracer.span("source") as span:
+            if span:
+                span.set("source_id", binding.source_id)
+                span.set("query", query_text)
+            if self.circuit_breaker.is_open(binding.source_id):
+                if span:
+                    span.set("skipped", "circuit_open")
+                trace.warnings.append(
+                    f"source {binding.source_id} skipped: circuit open "
+                    "after repeated failures"
+                )
+                return SourceResult.empty(binding.source_id)
+            self.clock.advance(self._DISPATCH_MS)
+            try:
+                result = source.search(SourceQuery(
+                    text=query_text,
+                    count=binding.max_results,
+                    offset=offset,
+                    context=query_context,
+                ))
+            except ReproError as exc:
+                # Error isolation: a failing source must not take down
+                # the app.
+                self.circuit_breaker.record_failure(binding.source_id)
+                trace.warnings.append(
+                    f"source {binding.source_id} failed: {exc}"
+                )
+                if span:
+                    span.set("error", str(exc))
+                self._metrics.counter("source_failures_total").inc()
+                return SourceResult.empty(binding.source_id)
+            self.circuit_breaker.record_success(binding.source_id)
+            if span:
+                span.set("items", len(result.items))
         if self.cache_enabled and cacheable:
             self.cache.put(cache_key, result, self.clock.now_ms)
         return result

@@ -100,8 +100,29 @@ def rows_from_payload(payload, fmt: str | None = None,
 class DatasetIngestor:
     """Loads parsed uploads into a tenant's tables."""
 
-    def __init__(self, tenant) -> None:
+    def __init__(self, tenant, telemetry=None) -> None:
         self._tenant = tenant
+        self._telemetry = telemetry
+
+    def _record(self, report: IngestReport, source: str) -> None:
+        """Emit completion telemetry for one ingestion run."""
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.events.emit(
+            "ingest.complete", table=report.table_name,
+            source=source, format=report.format,
+            inserted=report.inserted, updated=report.updated,
+            unchanged=report.unchanged,
+        )
+        if report.inserted:
+            telemetry.metrics.counter(
+                "ingest_rows_total", op="insert"
+            ).inc(report.inserted)
+        if report.updated:
+            telemetry.metrics.counter(
+                "ingest_rows_total", op="update"
+            ).inc(report.updated)
 
     def ingest(self, payload, table_name: str,
                schema: Schema | None = None,
@@ -117,6 +138,31 @@ class DatasetIngestor:
         * Identical payload bytes (by blob hash): short-circuits as
           ``unchanged``.
         """
+        tracer = (self._telemetry.tracer if self._telemetry is not None
+                  else None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("ingest") as span:
+                span.set("table", table_name)
+                span.set("filename", payload.filename)
+                report = self._ingest_payload(
+                    payload, table_name, schema, fmt, sheet,
+                    key_field, indexed_fields,
+                )
+                span.set("format", report.format or "unchanged")
+                span.set("inserted", report.inserted)
+        else:
+            report = self._ingest_payload(
+                payload, table_name, schema, fmt, sheet, key_field,
+                indexed_fields,
+            )
+        self._record(report, source="upload")
+        return report
+
+    def _ingest_payload(self, payload, table_name: str,
+                        schema: Schema | None,
+                        fmt: str | None, sheet: str | None,
+                        key_field: str | None,
+                        indexed_fields: tuple) -> IngestReport:
         blob_key = f"uploads/{table_name}/{payload.filename}"
         if self._tenant.blobs.exists(blob_key) \
                 and self._tenant.blobs.unchanged(blob_key, payload.data):
@@ -162,4 +208,5 @@ class DatasetIngestor:
                 table_name, table_schema, indexed_fields
             )
         report.inserted = self._tenant.insert_rows(table_name, rows)
+        self._record(report, source="rows")
         return report

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from repro.errors import NotFoundError, ValidationError
 from repro.searchengine.analysis import Analyzer
 from repro.services.bus import ServiceDescriptor
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.trace import NULL_TRACER
 from repro.util import IdGenerator
 
 __all__ = ["Advertiser", "AdCampaign", "AdResult", "LedgerEntry",
@@ -112,6 +114,15 @@ class AdService:
         self._served: dict[str, AdResult] = {}       # ad_id -> result
         self._served_app: dict[str, str] = {}        # ad_id -> app_id
         self.ledger: list[LedgerEntry] = []
+        self._tracer = NULL_TRACER
+        self._metrics = NULL_METRICS
+        self._events = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Trace auctions and count impressions/clicks/revenue."""
+        self._tracer = telemetry.tracer
+        self._metrics = telemetry.metrics
+        self._events = telemetry.events
 
     # -- bus integration -------------------------------------------------------
 
@@ -223,6 +234,21 @@ class AdService:
         minimum bid that would keep its rank over slot *i+1* (classic GSP),
         floored at a 1-cent reserve.
         """
+        with self._tracer.span("ads:auction") as span:
+            if span:
+                span.set("query", query)
+                span.set("app_id", app_id)
+            selected = self._run_auction(query, app_id, count, now_ms)
+            if span:
+                span.set("selected", len(selected))
+        if selected and self._metrics.enabled:
+            self._metrics.counter("ad_impressions_total").inc(
+                len(selected)
+            )
+        return selected
+
+    def _run_auction(self, query: str, app_id: str, count: int,
+                     now_ms: int) -> list[AdResult]:
         terms = self._analyzer.analyze(query)
         eligible = self._eligible(terms)
         eligible.sort(
@@ -273,6 +299,15 @@ class AdService:
             campaign_id=campaign.campaign_id, app_id=app_id,
             amount=charge, designer_credit=credit,
         ))
+        if self._metrics.enabled:
+            self._metrics.counter("ad_clicks_total").inc()
+            self._metrics.counter("ad_revenue_total").inc(charge)
+        if self._events is not None:
+            self._events.emit(
+                "ad.click", ad_id=ad_id,
+                campaign_id=campaign.campaign_id, app_id=app_id,
+                charged=charge, designer_credit=credit,
+            )
         return {"ad_id": ad_id, "charged": charge,
                 "designer_credit": credit}
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import NotFoundError, ServiceFaultError, ValidationError
 from repro.services.bus import ServiceDescriptor
+from repro.telemetry.trace import NULL_TRACER
 
 __all__ = ["SoapEnvelope", "SoapOperation", "SoapService", "SoapClient"]
 
@@ -40,9 +41,14 @@ class SoapService:
 
     name = "soap-service"
     description = ""
+    tracer = NULL_TRACER
 
     def __init__(self) -> None:
         self._operations: dict[str, tuple[SoapOperation, object]] = {}
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Trace invocations under the caller's current span."""
+        self.tracer = telemetry.tracer
 
     def operation(self, contract: SoapOperation, handler) -> None:
         self._operations[contract.name] = (contract, handler)
@@ -71,6 +77,13 @@ class SoapService:
 
     def invoke(self, operation: str, params: dict):
         """Bus entry point: validate parts, call handler, wrap faults."""
+        if not self.tracer.enabled:
+            return self._dispatch(operation, params)
+        with self.tracer.span(f"soap:{self.name}") as span:
+            span.set("operation", operation)
+            return self._dispatch(operation, params)
+
+    def _dispatch(self, operation: str, params: dict):
         entry = self._operations.get(operation)
         if entry is None:
             raise NotFoundError(

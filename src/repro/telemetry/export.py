@@ -1,0 +1,117 @@
+"""Exporters: JSONL dump/load, Prometheus text, and the human report.
+
+The JSONL format is one object per line with a ``type`` discriminator
+(``span`` | ``event`` | ``metrics``), so a single file captures a whole
+telemetry session and round-trips losslessly: the report rendered from
+a loaded file is identical to the report rendered live. The Prometheus
+exposition is delegated to the registry; this module only adds the
+report framing around it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.trace import render_span_tree
+
+__all__ = [
+    "telemetry_lines",
+    "dump_jsonl",
+    "load_jsonl",
+    "render_report",
+]
+
+
+def telemetry_lines(telemetry) -> list[dict]:
+    """The JSONL payload for one telemetry session, as dicts."""
+    lines: list[dict] = []
+    for span in telemetry.tracer.spans:
+        lines.append(dict(span.to_dict(), type="span"))
+    for event in telemetry.events.events:
+        lines.append(dict(event.to_dict(), type="event"))
+    lines.append({"type": "metrics",
+                  "snapshot": telemetry.metrics.snapshot()})
+    return lines
+
+
+def dump_jsonl(telemetry, fileobj) -> int:
+    """Write the session to ``fileobj``; returns the line count."""
+    count = 0
+    for line in telemetry_lines(telemetry):
+        fileobj.write(json.dumps(line, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def load_jsonl(lines) -> dict:
+    """Parse a JSONL export (an iterable of lines or a file object)."""
+    data: dict = {
+        "spans": [],
+        "events": [],
+        "metrics": {"counter": {}, "gauge": {}, "histogram": {}},
+    }
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        entry = json.loads(raw)
+        kind = entry.pop("type", None)
+        if kind == "span":
+            data["spans"].append(entry)
+        elif kind == "event":
+            data["events"].append(entry)
+        elif kind == "metrics":
+            data["metrics"] = entry["snapshot"]
+    return data
+
+
+def _event_counts(events) -> dict:
+    out: dict[str, int] = {}
+    for event in events:
+        kind = event["kind"] if isinstance(event, dict) else event.kind
+        out[kind] = out.get(kind, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def render_report(data: dict) -> str:
+    """The ``repro telemetry`` CLI report over loaded (or live) data."""
+    lines = ["Telemetry report", "================"]
+
+    spans = data.get("spans", [])
+    lines.append("")
+    lines.append(f"Spans ({len(spans)}):")
+    if spans:
+        for tree_line in render_span_tree(spans).splitlines():
+            lines.append(f"  {tree_line}")
+    else:
+        lines.append("  (none recorded)")
+
+    events = data.get("events", [])
+    lines.append("")
+    lines.append(f"Events ({len(events)}):")
+    counts = _event_counts(events)
+    if counts:
+        for kind, count in counts.items():
+            lines.append(f"  {kind:<28} {count}")
+    else:
+        lines.append("  (none recorded)")
+
+    metrics = data.get("metrics", {})
+    lines.append("")
+    lines.append("Metrics:")
+    wrote_metric = False
+    for kind in ("counter", "gauge", "histogram"):
+        for name, value in metrics.get(kind, {}).items():
+            wrote_metric = True
+            if kind == "histogram":
+                parts = ", ".join(
+                    f"{k}={value[k]}" for k in
+                    ("count", "p50", "p95", "p99", "max")
+                    if value.get(k) is not None
+                )
+                lines.append(f"  {name:<40} {parts}")
+            else:
+                lines.append(f"  {name:<40} {value}")
+    if not wrote_metric:
+        lines.append("  (none recorded)")
+    return "\n".join(lines)

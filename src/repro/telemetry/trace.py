@@ -1,0 +1,284 @@
+"""Hierarchical tracing: spans, parent-child context, deterministic ids.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects per query —
+query → stage → per-source → cluster phase → per-shard → per-replica —
+timed off :class:`~repro.util.SimClock` so the same seeded run always
+yields the same span tree. The *current* span lives in a
+:class:`contextvars.ContextVar`; because
+:class:`~repro.cluster.executor.ScatterGatherExecutor` submits every
+shard task under a copy of the caller's context, spans opened on worker
+threads parent correctly under the span that scattered them.
+
+Span ids are content-derived (``stable_hash(parent, name, occurrence)``)
+rather than random, which is what makes traces reproducible: two runs
+that perform the same operations produce byte-identical span trees.
+Concurrent siblings must therefore use distinct span names (the cluster
+instrumentation names spans ``exec:shard-3``, never a bare ``exec``);
+same-named siblings are only deterministic when opened sequentially.
+
+The default tracer is :data:`NULL_TRACER`, whose ``span()`` returns one
+shared no-op object — the uninstrumented hot path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+
+from repro.util import SimClock, stable_hash
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "build_span_forest",
+    "render_span_tree",
+]
+
+_CURRENT_SPAN: ContextVar = ContextVar("repro_current_span",
+                                       default=None)
+
+
+class Span:
+    """One timed operation; a context manager that tracks the tree.
+
+    Truthiness doubles as an "is tracing live?" check, so call sites can
+    guard attribute work with ``if span: span.set(...)`` and pay nothing
+    when the no-op tracer is installed.
+    """
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_id", "name",
+                 "start_ms", "end_ms", "status", "attrs",
+                 "_child_counts", "_token")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str,
+                 parent_id: str | None, name: str,
+                 start_ms: int) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: int | None = None
+        self.status = "ok"
+        self.attrs: dict = {}
+        self._child_counts: dict[str, int] = {}
+        self._token = None
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_ms if self.end_ms is not None \
+            else self.tracer.clock.now_ms
+        return float(end - self.start_ms)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", str(exc))
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        self.tracer._finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, status={self.status})")
+
+
+class _NullSpan:
+    """The shared do-nothing span; falsy so callers can skip attr work."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans parented off the ambient current span.
+
+    ``clock`` supplies every timestamp, so span trees (ids, times,
+    structure) replay identically for the same seeded workload.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._root_counts: dict[str, int] = {}
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Open a child of the current span (or a new root)."""
+        parent = _CURRENT_SPAN.get()
+        with self._lock:
+            if parent is None:
+                occurrence = self._root_counts.get(name, 0)
+                self._root_counts[name] = occurrence + 1
+                trace_id = _hex(stable_hash("trace", name, occurrence))
+                parent_id = None
+                span_id = _hex(stable_hash(trace_id, name, occurrence))
+            else:
+                occurrence = parent._child_counts.get(name, 0)
+                parent._child_counts[name] = occurrence + 1
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+                span_id = _hex(stable_hash(parent_id, name, occurrence))
+        return Span(self, trace_id, span_id, parent_id, name,
+                    self.clock.now_ms)
+
+    def current(self) -> Span | None:
+        return _CURRENT_SPAN.get()
+
+    def _finish(self, span: Span) -> None:
+        span.end_ms = self.clock.now_ms
+        with self._lock:
+            self._finished.append(span)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans in a deterministic order (not completion order:
+        worker threads finish in whatever order the OS schedules)."""
+        with self._lock:
+            return sorted(
+                self._finished,
+                key=lambda s: (s.trace_id, s.start_ms, s.span_id),
+            )
+
+    def trace_spans(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.trace_id)
+        return list(seen)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._root_counts.clear()
+
+
+class NullTracer:
+    """The default: every ``span()`` is the same shared no-op object."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str | None = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def trace_spans(self, trace_id: str) -> tuple:
+        return ()
+
+    def trace_ids(self) -> tuple:
+        return ()
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def _hex(value: int) -> str:
+    return f"{value:016x}"
+
+
+def _as_dict(span) -> dict:
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+def build_span_forest(spans) -> list[dict]:
+    """Arrange span dicts (or :class:`Span` objects) into root trees.
+
+    Each returned node is the span dict plus a ``children`` list;
+    children are ordered by (start, span_id) so the forest is stable
+    regardless of thread completion order.
+    """
+    nodes = [dict(_as_dict(s), children=[]) for s in spans]
+    by_id = {node["span_id"]: node for node in nodes}
+    roots = []
+    for node in nodes:
+        parent = by_id.get(node["parent_id"])
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    order = (lambda n: (n["start_ms"], n["span_id"]))
+    for node in nodes:
+        node["children"].sort(key=order)
+    roots.sort(key=lambda n: (n["trace_id"], n["start_ms"],
+                              n["span_id"]))
+    return roots
+
+
+def render_span_tree(spans, include_ids: bool = False) -> str:
+    """Text rendering of the span forest, one line per span."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        duration = ((node["end_ms"] - node["start_ms"])
+                    if node["end_ms"] is not None else 0)
+        attrs = " ".join(
+            f"{key}={node['attrs'][key]!r}"
+            for key in sorted(node["attrs"])
+        )
+        status = "" if node["status"] == "ok" else f" !{node['status']}"
+        span_id = f" [{node['span_id'][:8]}]" if include_ids else ""
+        lines.append(
+            f"{'  ' * depth}{node['name']}{span_id} "
+            f"{duration} ms{status}" + (f"  {attrs}" if attrs else "")
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in build_span_forest(spans):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,448 @@
+"""Tests for repro.telemetry: tracing, metrics, events, exports.
+
+Covers the determinism contract (identical seeded runs produce
+identical span trees, even across scatter-gather worker threads),
+histogram quantile edge cases, instrument wiring (cache stats, breaker
+and limiter events), and the JSONL round-trip through the exporter.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_clustered_engine
+from repro.core.platform import Symphony
+from repro.core.runtime import (
+    CircuitBreaker,
+    PipelineTrace,
+    RateLimiter,
+    ResultCache,
+)
+from repro.errors import QuotaExceededError
+from repro.telemetry import (
+    NULL_TRACER,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    build_span_forest,
+    dump_jsonl,
+    load_jsonl,
+    render_report,
+    render_span_tree,
+)
+from repro.util import SimClock
+
+from tests.conftest import make_inventory_csv
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def traced_symphony(web, cluster=2):
+    """A telemetry-enabled clustered platform on a prebuilt web."""
+    return Symphony(web=web, use_authority=False, cluster=cluster,
+                    telemetry=True)
+
+
+def build_app(sym):
+    """A GamerQueen-style app with a proprietary primary source and a
+    supplemental web source; returns ``(app_id, games)``."""
+    account = sym.register_designer("Ann")
+    games = sym.web.entities["video_games"][:4]
+    sym.upload_http(
+        account, "inventory.csv", make_inventory_csv(games),
+        "inventory", content_type="text/csv",
+    )
+    inventory = sym.add_proprietary_source(
+        account, "inventory",
+        search_fields=("title", "producer", "description"),
+    )
+    reviews = sym.add_web_source("Game reviews", "web")
+    session = sym.designer().new_application(
+        "GamerQueen", account.tenant.tenant_id
+    )
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=2,
+        search_fields=("title", "producer", "description"),
+    )
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews", max_results=2, query_suffix="review",
+    )
+    return sym.host(session), games
+
+
+# -- histogram edge cases -----------------------------------------------------
+
+
+class TestHistogram:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram("latency")
+        assert hist.quantile(0.5) is None
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert summary["min"] is None
+
+    def test_single_sample_is_every_quantile(self):
+        hist = Histogram("latency")
+        hist.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+        assert hist.summary()["count"] == 1
+
+    def test_duplicate_samples(self):
+        hist = Histogram("latency")
+        for __ in range(10):
+            hist.observe(7.0)
+        assert hist.quantile(0.5) == 7.0
+        assert hist.quantile(0.99) == 7.0
+        assert hist.summary()["sum"] == 70.0
+
+    def test_quantile_zero_and_one_are_min_and_max(self):
+        hist = Histogram("latency")
+        for value in (5.0, 1.0, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 9.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = Histogram("latency")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_compaction_keeps_exact_count_and_extremes(self):
+        hist = Histogram("latency", sample_cap=8)
+        for value in range(100):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 0.0
+        assert summary["max"] == 99.0
+        # Quantiles stay approximately right despite compaction.
+        assert 30.0 <= hist.quantile(0.5) <= 70.0
+
+    def test_compaction_is_deterministic(self):
+        def run():
+            hist = Histogram("latency", sample_cap=8)
+            for value in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7]:
+                hist.observe(float(value))
+            return hist.summary()
+
+        assert run() == run()
+
+
+# -- metrics registry ---------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_identity_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", source="web")
+        b = registry.counter("hits", source="web")
+        c = registry.counter("hits", source="ads")
+        assert a is b
+        assert a is not c
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        registry.histogram("stage_ms", stage="primary").observe(5.0)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 3.0" in text
+        assert 'repro_stage_ms{stage="primary",quantile="0.5"} 5.0' \
+            in text
+        assert 'repro_stage_ms_count{stage="primary"} 1' in text
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_null_tracer_returns_shared_falsy_span(self):
+        span_a = NULL_TRACER.span("anything")
+        span_b = NULL_TRACER.span("else")
+        assert span_a is span_b
+        assert not span_a
+
+    def test_nested_spans_parent_and_ids_are_stable(self):
+        clock = SimClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("query") as root:
+            with telemetry.tracer.span("stage:primary") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+        forest = build_span_forest(telemetry.tracer.spans)
+        assert len(forest) == 1
+        assert forest[0]["name"] == "query"
+        assert forest[0]["children"][0]["name"] == "stage:primary"
+
+    def test_exception_marks_span_error(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = telemetry.tracer.spans
+        assert span.status == "error"
+        assert span.attrs["error"] == "kaput"
+
+
+# -- cluster tracing ----------------------------------------------------------
+
+
+@pytest.fixture()
+def traced_cluster(tiny_web):
+    telemetry = Telemetry()
+    engine = build_clustered_engine(
+        tiny_web,
+        config=ClusterConfig(num_shards=2, replicas_per_shard=2),
+        clock=telemetry.clock,
+        use_authority=False,
+        telemetry=telemetry,
+    )
+    yield engine, telemetry
+    engine.close()
+
+
+class TestClusterTracing:
+    def test_shard_spans_parent_under_phase_spans(self, traced_cluster):
+        engine, telemetry = traced_cluster
+        engine.search("web", "video game")
+        spans = telemetry.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        shard_spans = [s for s in spans
+                       if s.name.startswith(("stats:", "exec:"))]
+        assert len(shard_spans) == 4  # 2 phases x 2 shards
+        for span in shard_spans:
+            parent = by_id[span.parent_id]
+            expected = ("phase:stats" if span.name.startswith("stats:")
+                        else "phase:execute")
+            assert parent.name == expected
+
+    def test_single_connected_trace_includes_replica_attempts(
+            self, traced_cluster):
+        engine, telemetry = traced_cluster
+        engine.search("web", "video game")
+        trace_ids = telemetry.tracer.trace_ids()
+        assert len(trace_ids) == 1
+        spans = telemetry.tracer.trace_spans(trace_ids[0])
+        names = {s.name for s in spans}
+        assert "cluster.search" in names
+        assert any(n.startswith("attempt:") for n in names)
+        # Every span except the root has a parent in the same trace.
+        ids = {s.span_id for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in ids
+
+    def test_failover_shows_error_attempt_and_retry(
+            self, traced_cluster):
+        engine, telemetry = traced_cluster
+        engine.groups[0].replicas[0].inject_fault(1)
+        response = engine.search("web", "video game")
+        assert not response.degraded
+        attempts = [s for s in telemetry.tracer.spans
+                    if s.name.startswith("attempt:shard-0/")]
+        errored = [s for s in attempts if s.status == "error"]
+        assert len(errored) == 1
+        # The failed attempt has a healthy sibling retry on the other
+        # replica under the same shard task span.
+        retries = [s for s in attempts
+                   if s.parent_id == errored[0].parent_id
+                   and s.status == "ok"]
+        assert retries
+        kinds = telemetry.events.counts()
+        assert kinds.get("replica.failover") == 1
+
+    def test_degraded_query_emits_event_and_counter(self,
+                                                    traced_cluster):
+        engine, telemetry = traced_cluster
+        engine.kill_replica(0, 0)
+        engine.kill_replica(0, 1)
+        response = engine.search("web", "video game")
+        assert response.degraded
+        assert telemetry.events.counts().get("shard.unavailable")
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counter"]["degraded_queries_total"] == 1.0
+
+    def test_identical_runs_produce_identical_span_trees(self,
+                                                         tiny_web):
+        def run():
+            telemetry = Telemetry()
+            engine = build_clustered_engine(
+                tiny_web,
+                config=ClusterConfig(num_shards=2,
+                                     replicas_per_shard=2),
+                clock=telemetry.clock,
+                use_authority=False,
+                telemetry=telemetry,
+            )
+            try:
+                engine.search("web", "video game")
+                engine.search("web", "strategy guide")
+            finally:
+                engine.close()
+            return render_span_tree(telemetry.tracer.spans,
+                                    include_ids=True)
+
+        assert run() == run()
+
+
+# -- pipeline integration -----------------------------------------------------
+
+
+@pytest.fixture()
+def traced_gamerqueen(tiny_web):
+    sym = traced_symphony(tiny_web)
+    app_id, games = build_app(sym)
+    return sym, app_id, games
+
+
+class TestPipelineTelemetry:
+    def test_query_produces_one_connected_tree(self,
+                                               traced_gamerqueen):
+        sym, app_id, games = traced_gamerqueen
+        response = sym.query(app_id, games[0])
+        tracer = sym.telemetry.tracer
+        roots = [s for s in tracer.spans if s.name == "query"]
+        assert len(roots) == 1
+        spans = tracer.trace_spans(roots[0].trace_id)
+        names = {s.name for s in spans}
+        # Runtime stages, source calls, cluster phases, shard tasks,
+        # and replica attempts all hang off the one query root.
+        assert {"stage:receive", "stage:primary",
+                "stage:supplemental", "stage:merge+render",
+                "stage:respond", "source", "cluster.search"} <= names
+        assert any(n.startswith("attempt:") for n in names)
+        # The flat stage contract is preserved on the same response.
+        assert [s.name for s in response.trace.stages] == [
+            "receive", "primary", "supplemental", "merge+render",
+            "respond",
+        ]
+
+    def test_trace_describe_tree_mode(self, traced_gamerqueen):
+        sym, app_id, games = traced_gamerqueen
+        response = sym.query(app_id, games[0])
+        tree = response.trace.describe(tree=True)
+        assert "Pipeline trace (span tree):" in tree
+        assert "cluster.search" in tree
+        flat = response.trace.describe()
+        assert "TOTAL" in flat
+
+    def test_query_metrics_recorded(self, traced_gamerqueen):
+        sym, app_id, games = traced_gamerqueen
+        sym.query(app_id, games[0])
+        sym.query(app_id, games[0])  # second run hits the cache
+        snapshot = sym.telemetry.metrics.snapshot()
+        assert snapshot["counter"]["queries_total"] == 2.0
+        assert snapshot["gauge"]["result_cache_hits"] >= 1.0
+        stage_hist = snapshot["histogram"]["stage_ms{stage=primary}"]
+        assert stage_hist["count"] == 2
+
+    def test_disabled_telemetry_records_nothing(self, tiny_web):
+        sym = Symphony(web=tiny_web, use_authority=False)
+        app_id, games = build_app(sym)
+        response = sym.query(app_id, games[0])
+        assert not sym.telemetry.enabled
+        assert sym.telemetry.tracer.spans == ()
+        assert response.trace.span is None
+        # The flat trace still works exactly as before.
+        assert response.trace.total_ms() > 0
+
+    def test_pipeline_trace_default_has_no_span(self):
+        trace = PipelineTrace()
+        assert trace.span is None
+        trace.add_stage("receive", 1.0)
+        assert trace.total_ms() == 1.0
+
+
+# -- cache, breaker, limiter instrumentation ---------------------------------
+
+
+class TestInstrumentWiring:
+    def test_result_cache_stats(self):
+        cache = ResultCache(max_entries=2, ttl_ms=100)
+        assert cache.get("a", now_ms=0) is None           # miss
+        cache.put("a", "va", now_ms=0)
+        assert cache.get("a", now_ms=10) == "va"          # hit
+        assert cache.get("a", now_ms=200) is None         # ttl eviction
+        cache.put("b", "vb", now_ms=300)
+        cache.put("c", "vc", now_ms=300)
+        cache.put("d", "vd", now_ms=300)                  # lru eviction
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["ttl_evictions"] == 1
+        assert stats["lru_evictions"] == 1
+        assert stats["entries"] == 2
+
+    def test_circuit_breaker_emits_state_transitions(self):
+        clock = SimClock()
+        events = EventLog(clock=clock)
+        breaker = CircuitBreaker(clock, failure_threshold=2,
+                                 cooldown_ms=50, events=events)
+        breaker.record_failure("src")
+        breaker.record_failure("src")          # trips open
+        assert breaker.state("src") == "open"
+        clock.advance(50)
+        assert not breaker.is_open("src")      # admits the probe
+        breaker.record_failure("src")          # failed probe reopens
+        clock.advance(50)
+        assert not breaker.is_open("src")
+        breaker.record_success("src")          # closes
+        kinds = [e.kind for e in events.events]
+        assert kinds == [
+            "circuit.open", "circuit.half_open", "circuit.reopen",
+            "circuit.half_open", "circuit.closed",
+        ]
+
+    def test_rate_limiter_emits_rejections(self):
+        clock = SimClock()
+        events = EventLog(clock=clock)
+        limiter = RateLimiter(clock, max_requests=1, window_ms=1000,
+                              events=events)
+        limiter.check("app-1")
+        with pytest.raises(QuotaExceededError):
+            limiter.check("app-1")
+        (event,) = events.events
+        assert event.kind == "ratelimit.rejected"
+        assert event.fields["app_id"] == "app-1"
+
+
+# -- export round-trip --------------------------------------------------------
+
+
+class TestExport:
+    def test_jsonl_round_trip_preserves_report(self,
+                                               traced_gamerqueen):
+        sym, app_id, games = traced_gamerqueen
+        sym.query(app_id, games[0])
+        buffer = io.StringIO()
+        count = dump_jsonl(sym.telemetry, buffer)
+        assert count == len(sym.telemetry.tracer.spans) \
+            + len(sym.telemetry.events.events) + 1
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        assert render_report(loaded) == sym.telemetry.report()
+
+    def test_loaded_spans_match_live_spans(self, traced_gamerqueen):
+        sym, app_id, games = traced_gamerqueen
+        sym.query(app_id, games[0])
+        buffer = io.StringIO()
+        dump_jsonl(sym.telemetry, buffer)
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        live = [s.to_dict() for s in sym.telemetry.tracer.spans]
+        assert loaded["spans"] == live
+        assert loaded["metrics"] == sym.telemetry.metrics.snapshot()
