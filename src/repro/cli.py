@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli stats                # synthetic web statistics
     python -m repro.cli telemetry            # trace one clustered query
     python -m repro.cli telemetry --input t.jsonl  # report an export
+    python -m repro.cli chaos --plan examples/chaos_fault_plan.json
 """
 
 from __future__ import annotations
@@ -177,6 +178,23 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from dataclasses import replace
+
+    from repro.resilience.chaos import (
+        FaultPlan,
+        load_fault_plan,
+        run_chaos,
+    )
+
+    plan = load_fault_plan(args.plan) if args.plan else FaultPlan()
+    if args.queries:
+        plan = replace(plan, queries=args.queries)
+    report = run_chaos(plan)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -225,6 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--prometheus", action="store_true",
                            help="print Prometheus text exposition "
                                 "instead of the report")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a chaos fault plan and check resilience invariants",
+    )
+    chaos.add_argument("--plan", default="",
+                       help="path to a fault-plan JSON file (default: "
+                            "built-in defaults)")
+    chaos.add_argument("--queries", type=int, default=0,
+                       help="override the plan's query count")
     return parser
 
 
@@ -235,6 +263,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "demo": _cmd_demo,
     "telemetry": _cmd_telemetry,
+    "chaos": _cmd_chaos,
 }
 
 

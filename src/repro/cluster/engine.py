@@ -61,7 +61,7 @@ class ClusterConfig:
     num_shards: int = 4
     replicas_per_shard: int = 1
     max_workers: int | None = None     # default: one thread per shard
-    shard_timeout_s: float = 5.0       # wall-clock cap per shard task
+    shard_timeout_s: float = 5.0       # shared wall budget per scatter
     failure_threshold: int = 3         # consecutive errors -> replica out
 
     def __post_init__(self) -> None:
@@ -79,6 +79,7 @@ class ClusterSearchResponse(SearchResponse):
     shards_total: int = 0
     shards_ok: int = 0
     failed_shards: tuple = ()
+    deadline_overrun: bool = False
 
 
 class _ClusterIndexView:
@@ -147,7 +148,8 @@ class ClusteredSearchEngine:
                  clock: SimClock | None = None,
                  log: QueryLog | None = None,
                  config: ClusterConfig | None = None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 hedge=None) -> None:
         if len(groups) != router.num_shards:
             raise ValueError("one replica group per shard required")
         self.groups = list(groups)
@@ -159,10 +161,13 @@ class ClusteredSearchEngine:
         self.telemetry = telemetry or Telemetry.disabled()
         self._tracer = self.telemetry.tracer
         self._metrics = self.telemetry.metrics
+        self.hedge_policy = hedge
         for group in self.groups:
             group.tracer = self._tracer
             if self.telemetry.enabled:
                 group.events = self.telemetry.events
+            if hedge is not None:
+                group.enable_hedging(hedge)
         self.executor = ScatterGatherExecutor(
             max_workers=self.config.max_workers or len(groups),
             shard_timeout_s=self.config.shard_timeout_s,
@@ -234,7 +239,7 @@ class ClusteredSearchEngine:
 
     # -- the SearchEngine contract --------------------------------------------
 
-    def _shard_task(self, group, phase: str, fn):
+    def _shard_task(self, group, phase: str, fn, annotated: bool = False):
         """Wrap ``group.run(fn)`` in a per-shard span.
 
         The span opens on the worker thread, under the context the
@@ -242,21 +247,31 @@ class ClusteredSearchEngine:
         phase span. Names are unique per shard (``exec:shard-3``) —
         the tracer's content-derived ids stay deterministic however
         the OS interleaves the workers.
+
+        With ``annotated=True`` the task returns the group's
+        ``(result, meta)`` pair, carrying per-attempt latency and
+        hedging outcomes for the gather phase's cost accounting.
         """
         tracer = self._tracer
+        runner = group.run_annotated if annotated else group.run
         if not tracer.enabled:
-            return lambda: group.run(fn)
+            return lambda: runner(fn)
         label = f"{phase}:shard-{group.shard_id}"
 
         def task():
             with tracer.span(label):
-                return group.run(fn)
+                return runner(fn)
         return task
+
+    #: The runtime checks this before passing ``deadline=`` — the
+    #: single-node :class:`SearchEngine` keeps its original signature.
+    accepts_deadline = True
 
     def search(self, vertical, query_text: str,
                options: SearchOptions | None = None,
                app_id: str | None = None,
-               session_id: str | None = None) -> ClusterSearchResponse:
+               session_id: str | None = None,
+               deadline=None) -> ClusterSearchResponse:
         """Scatter ``query_text`` across shards and gather global top-k."""
         with self._tracer.span("cluster.search") as root:
             if root:
@@ -264,12 +279,12 @@ class ClusteredSearchEngine:
                 root.set("vertical", Vertical(vertical).value)
             return self._search_traced(
                 vertical, query_text, options, app_id, session_id,
-                root,
+                root, deadline,
             )
 
     def _search_traced(self, vertical, query_text: str, options,
-                       app_id, session_id,
-                       root) -> ClusterSearchResponse:
+                       app_id, session_id, root,
+                       deadline=None) -> ClusterSearchResponse:
         options = options or SearchOptions()
         vkey = Vertical(vertical)
         reference = self.reference_vertical(vkey)
@@ -278,6 +293,10 @@ class ClusteredSearchEngine:
         terms = extract_terms(node, reference.index.analyzer)
         now_ms = self.clock.now_ms
         failed: set[int] = set()
+
+        def wall_budget():
+            return (deadline.remaining_wall_s()
+                    if deadline is not None else None)
 
         # Phase 1: gather global statistics (skipped for pure-filter
         # queries, which BM25 never scores).
@@ -289,7 +308,7 @@ class ClusteredSearchEngine:
                         lambda r: r.collect_stats(vkey, terms),
                     )
                     for group in self.groups
-                })
+                }, wall_budget_s=wall_budget())
             failed |= {sid for sid, out in outcomes.items()
                        if not out.ok}
             stats = CorpusStats.merge(
@@ -300,8 +319,12 @@ class ClusteredSearchEngine:
 
         # Phase 2: parallel per-shard evaluate + rank under the global
         # statistics; remember which replica served each shard so the
-        # gather phase can materialize results from it.
+        # gather phase can materialize results from it. Skipped
+        # entirely when the query's deadline already ran out — the
+        # response degrades to whatever is free (nothing) rather than
+        # starting work it cannot afford.
         served: dict[int, ShardReplica] = {}
+        overrun = deadline is not None and deadline.expired
 
         def run_shard(replica):
             scored, count = replica.execute(
@@ -309,40 +332,59 @@ class ClusteredSearchEngine:
             )
             return replica, scored, count
 
-        with self._tracer.span("phase:execute"):
-            outcomes = self.executor.scatter({
-                group.shard_id: self._shard_task(group, "exec",
-                                                 run_shard)
-                for group in self.groups
-                if group.shard_id not in failed
-            })
+        outcomes = {}
+        if not overrun:
+            with self._tracer.span("phase:execute"):
+                outcomes = self.executor.scatter({
+                    group.shard_id: self._shard_task(
+                        group, "exec", run_shard, annotated=True)
+                    for group in self.groups
+                    if group.shard_id not in failed
+                }, wall_budget_s=wall_budget())
         shard_lists: dict[int, list] = {}
         candidate_counts: dict[int, int] = {}
+        extra_latency: dict[int, float] = {}
+        hedges = wins = 0
         for sid, outcome in outcomes.items():
             if not outcome.ok:
                 failed.add(sid)
                 continue
-            replica, scored, count = outcome.value
+            (replica, scored, count), meta = outcome.value
             served[sid] = replica
             shard_lists[sid] = scored
             candidate_counts[sid] = count
+            extra_latency[sid] = meta.get("latency_ms", 0.0)
+            if meta.get("hedged"):
+                hedges += 1
+                wins += meta.get("hedge") == "win"
 
         if self._metrics.enabled:
             latency = self._metrics.histogram("shard_latency_ms")
             for sid in sorted(candidate_counts):
                 latency.observe(
                     simulated_latency_ms(candidate_counts[sid])
+                    + extra_latency[sid]
                 )
             if failed:
                 self._metrics.counter("shard_failures_total").inc(
                     len(failed)
                 )
+            if hedges:
+                self._metrics.counter("hedges_total").inc(hedges)
+            if wins:
+                self._metrics.counter("hedge_wins_total").inc(wins)
 
         # Gather: parallel shards cost max-over-shards, not the sum.
-        elapsed = simulated_latency_ms(
-            max(candidate_counts.values(), default=0)
+        # Each shard's cost is its ranking latency plus any replica
+        # attempt latency (injected spikes, bounded by hedging).
+        elapsed = max(
+            (simulated_latency_ms(candidate_counts[sid])
+             + extra_latency[sid] for sid in candidate_counts),
+            default=simulated_latency_ms(0),
         )
         self.clock.advance(elapsed)
+        if deadline is not None and deadline.expired:
+            overrun = True
 
         total_matches = sum(len(lst) for lst in shard_lists.values())
         window = list(islice(
@@ -354,17 +396,20 @@ class ClusteredSearchEngine:
             for doc_id, score, shard_id in window
         )
         suggestion = None
-        if total_matches == 0 and terms and not failed:
+        if total_matches == 0 and terms and not failed and not overrun:
             suggestion = self._suggest(vkey, terms)
-        degraded = bool(failed)
+        degraded = bool(failed) or overrun
         if degraded:
             if root:
                 root.set("degraded", True)
                 root.set("failed_shards", sorted(failed))
+                if overrun:
+                    root.set("deadline_overrun", True)
             self._metrics.counter("degraded_queries_total").inc()
             self.telemetry.events.emit(
                 "cluster.degraded", query=query_text,
                 failed_shards=sorted(failed),
+                deadline_overrun=overrun,
             )
         response = ClusterSearchResponse(
             query=query_text,
@@ -377,6 +422,7 @@ class ClusteredSearchEngine:
             shards_total=self.num_shards,
             shards_ok=self.num_shards - len(failed),
             failed_shards=tuple(sorted(failed)),
+            deadline_overrun=overrun,
         )
         self.log.log_query(QueryEvent(
             timestamp_ms=self.clock.now_ms,
@@ -450,8 +496,8 @@ def build_clustered_engine(web, config: ClusterConfig | None = None,
                            clock: SimClock | None = None,
                            use_authority: bool = True,
                            log: QueryLog | None = None,
-                           telemetry: Telemetry | None = None
-                           ) -> ClusteredSearchEngine:
+                           telemetry: Telemetry | None = None,
+                           hedge=None) -> ClusteredSearchEngine:
     """Index a synthetic web into a ready-to-query cluster.
 
     Authority (PageRank) is computed once over the full link graph and
@@ -478,7 +524,7 @@ def build_clustered_engine(web, config: ClusterConfig | None = None,
     ]
     engine = ClusteredSearchEngine(
         groups, router, authority=authority, clock=clock, log=log,
-        config=config, telemetry=telemetry,
+        config=config, telemetry=telemetry, hedge=hedge,
     )
     for vertical, document in iter_corpus_documents(web):
         shard_id = router.shard_of(document.doc_id)

@@ -1,8 +1,8 @@
 """Parallel scatter-gather over shards.
 
-Dispatches one task per shard onto a shared thread pool, enforces a
-per-shard wall-clock timeout, and merges the shards' already-sorted
-result lists with a heap so gathering top-k costs
+Dispatches one task per shard onto a shared thread pool, enforces one
+shared wall-clock budget across the gather, and merges the shards'
+already-sorted result lists with a heap so gathering top-k costs
 O(k log num_shards), not a global re-sort.
 """
 
@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import contextvars
 import heapq
+import time
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as _Timeout
 from dataclasses import dataclass
 
@@ -49,12 +50,23 @@ class ScatterGatherExecutor:
             )
         return self._pool
 
-    def scatter(self, tasks: dict) -> dict:
-        """Run ``{shard_id: thunk}`` in parallel.
+    def scatter(self, tasks: dict,
+                wall_budget_s: float | None = None) -> dict:
+        """Run ``{shard_id: thunk}`` in parallel under one wall budget.
 
-        Returns ``{shard_id: ShardOutcome}``; a thunk that raises or
-        exceeds the per-shard timeout yields a failed outcome instead of
-        propagating, so one slow or dead shard cannot fail the query.
+        Returns ``{shard_id: ShardOutcome}``; a thunk that raises or is
+        still running when the budget expires yields a failed outcome
+        instead of propagating, so one slow or dead shard cannot fail
+        the query.
+
+        The gather waits against a *shared* deadline of ``wall_budget_s``
+        (default: ``shard_timeout_s``) real seconds from scatter time:
+        each sequential ``future.result`` wait only gets the budget that
+        earlier shards left behind, so the total gather can never
+        overshoot the budget the way independent per-shard timeouts
+        stacked up to ``N * shard_timeout_s`` could.  Shards that
+        already finished are still collected after expiry (a zero
+        timeout only fails futures that are genuinely unfinished).
 
         Each task runs under a copy of the caller's ``contextvars``
         context, so ambient state — in particular the current telemetry
@@ -63,21 +75,26 @@ class ScatterGatherExecutor:
         """
         if not tasks:
             return {}
+        budget_s = (wall_budget_s if wall_budget_s is not None
+                    else self.shard_timeout_s)
         pool = self._ensure_pool(len(tasks))
+        wall_deadline = time.monotonic() + budget_s
         futures = {
             shard_id: pool.submit(contextvars.copy_context().run, thunk)
             for shard_id, thunk in tasks.items()
         }
         outcomes: dict[int, ShardOutcome] = {}
         for shard_id, future in futures.items():
+            remaining = max(0.0, wall_deadline - time.monotonic())
             try:
-                value = future.result(timeout=self.shard_timeout_s)
+                value = future.result(timeout=remaining)
             except _Timeout:
+                future.cancel()
                 outcomes[shard_id] = ShardOutcome(
                     shard_id,
                     error=TimeoutError(
-                        f"shard {shard_id} exceeded "
-                        f"{self.shard_timeout_s:.1f}s"
+                        f"shard {shard_id} unfinished after the "
+                        f"{budget_s:.1f}s scatter budget"
                     ),
                 )
             except Exception as exc:  # noqa: BLE001 — isolated per shard

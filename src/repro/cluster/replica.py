@@ -48,6 +48,7 @@ class ShardReplica:
         self.verticals = verticals
         self.healthy = True
         self._pending_faults: list[Exception] = []
+        self._pending_delays: list[float] = []
         self._fault_lock = threading.Lock()
 
     # -- health & fault injection -------------------------------------------
@@ -74,6 +75,25 @@ class ShardReplica:
         with self._fault_lock:
             if self._pending_faults:
                 raise self._pending_faults.pop(0)
+
+    def inject_latency(self, delay_ms: float, count: int = 1) -> None:
+        """Make the next ``count`` reads appear ``delay_ms`` slow.
+
+        The delay is simulated — consumed by the owning
+        :class:`ReplicaGroup` for latency accounting and hedging
+        decisions, never slept.
+        """
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        with self._fault_lock:
+            self._pending_delays.extend([float(delay_ms)] * count)
+
+    def take_latency_ms(self) -> float:
+        """Consume the next injected read delay (0 when none pending)."""
+        with self._fault_lock:
+            if self._pending_delays:
+                return self._pending_delays.pop(0)
+            return 0.0
 
     # -- data plane -----------------------------------------------------------
 
@@ -154,6 +174,9 @@ class ReplicaGroup:
         # the request onto this group's worker thread.
         self.tracer = NULL_TRACER
         self.events = None
+        # Hedging, installed via enable_hedging by the cluster engine.
+        self.hedge_policy = None
+        self.latency_histogram = None
         self._rotation = itertools.count()
         self._consecutive_failures = [0] * len(self.replicas)
         self._lock = threading.Lock()
@@ -182,7 +205,64 @@ class ReplicaGroup:
         for replica in self.replicas:
             fn(replica)
 
-    # -- read path: rotate + fail over ----------------------------------------
+    # -- read path: rotate + fail over + hedge --------------------------------
+
+    def enable_hedging(self, policy) -> None:
+        """Install hedged reads (called by the owning cluster engine).
+
+        The group keeps its own attempt-latency histogram so the hedge
+        threshold adapts to the latencies this shard has actually
+        observed, independent of whether full telemetry is enabled.
+        """
+        from repro.telemetry.metrics import Histogram
+        self.hedge_policy = policy
+        if self.latency_histogram is None:
+            self.latency_histogram = Histogram(
+                "replica_attempt_ms",
+                labels=(("shard", str(self.shard_id)),),
+            )
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, shard=self.shard_id, **fields)
+
+    def _attempt(self, fn, index: int, replica, errors: list):
+        """One read attempt on ``replica``; ``(ok, result, latency_ms)``.
+
+        Consumes the replica's injected latency, feeds the attempt
+        histogram, and does the failure accounting (consecutive errors
+        remove the replica from rotation).
+        """
+        with self.tracer.span(f"attempt:{replica.replica_id}") as span:
+            latency_ms = replica.take_latency_ms()
+            if span and latency_ms:
+                span.set("injected_latency_ms", latency_ms)
+            try:
+                result = fn(replica)
+            except ReproError as exc:
+                errors.append(f"{replica.replica_id}: {exc}")
+                if span:
+                    span.status = "error"
+                    span.set("error", str(exc))
+                removed = False
+                with self._lock:
+                    self._consecutive_failures[index] += 1
+                    if (self._consecutive_failures[index]
+                            >= self.failure_threshold):
+                        replica.kill()
+                        removed = True
+                self._emit(
+                    "replica.failover",
+                    replica=replica.replica_id,
+                    error=str(exc),
+                    removed_from_rotation=removed,
+                )
+                return False, None, latency_ms
+            with self._lock:
+                self._consecutive_failures[index] = 0
+            if self.latency_histogram is not None:
+                self.latency_histogram.observe(latency_ms)
+            return True, result, latency_ms
 
     def run(self, fn):
         """Run ``fn(replica)`` on a healthy replica, failing over.
@@ -194,45 +274,83 @@ class ReplicaGroup:
         :class:`ShardUnavailableError` when every replica is down or
         errored.
         """
+        result, _meta = self.run_annotated(fn)
+        return result
+
+    def run_annotated(self, fn):
+        """Like :meth:`run`, returning ``(result, meta)`` with hedging.
+
+        ``meta`` carries ``replica``, ``attempts``, ``latency_ms`` (the
+        simulated latency the caller should charge for this read) and
+        ``hedged``/``hedge`` markers.  When a hedge policy is installed
+        and the serving attempt came back slower than the policy's
+        threshold, a backup attempt fires on the next healthy replica;
+        the model is that both attempts race from the moment the hedge
+        launched (at ``threshold`` ms), so the effective latency is
+        ``min(primary, threshold + backup)`` and the backup's result is
+        served only when it would genuinely have finished first.
+        """
         start = next(self._rotation)
         errors: list[str] = []
-        for offset in range(len(self.replicas)):
-            index = (start + offset) % len(self.replicas)
+        order = [(start + offset) % len(self.replicas)
+                 for offset in range(len(self.replicas))]
+        attempts = 0
+        for pos, index in enumerate(order):
             replica = self.replicas[index]
             if not replica.healthy:
                 errors.append(f"{replica.replica_id}: down")
                 continue
-            with self.tracer.span(
-                    f"attempt:{replica.replica_id}") as span:
-                try:
-                    result = fn(replica)
-                except ReproError as exc:
-                    errors.append(f"{replica.replica_id}: {exc}")
-                    if span:
-                        span.status = "error"
-                        span.set("error", str(exc))
-                    removed = False
-                    with self._lock:
-                        self._consecutive_failures[index] += 1
-                        if (self._consecutive_failures[index]
-                                >= self.failure_threshold):
-                            replica.kill()
-                            removed = True
-                    if self.events is not None:
-                        self.events.emit(
-                            "replica.failover",
-                            shard=self.shard_id,
-                            replica=replica.replica_id,
-                            error=str(exc),
-                            removed_from_rotation=removed,
-                        )
-                    continue
-                with self._lock:
-                    self._consecutive_failures[index] = 0
-                return result
-        if self.events is not None:
-            self.events.emit("shard.unavailable", shard=self.shard_id,
-                             attempts=len(errors))
+            attempts += 1
+            ok, result, latency_ms = self._attempt(fn, index, replica,
+                                                   errors)
+            if not ok:
+                continue
+            meta = {"replica": replica.replica_id, "attempts": attempts,
+                    "latency_ms": latency_ms, "hedged": False}
+            policy = self.hedge_policy
+            if policy is not None:
+                threshold = policy.threshold_ms(self.latency_histogram)
+                if latency_ms > threshold:
+                    hedged = self._hedge(fn, order[pos + 1:], threshold,
+                                         latency_ms, attempts, errors)
+                    if hedged is not None:
+                        return hedged
+                    meta["hedged"] = True
+                    meta["hedge"] = "lose"
+                    meta["attempts"] = attempts + 1
+            return result, meta
+        self._emit("shard.unavailable", attempts=len(errors))
         raise ShardUnavailableError(
             f"shard {self.shard_id} unavailable: " + "; ".join(errors)
         )
+
+    def _hedge(self, fn, rest: list, threshold: float,
+               primary_latency: float, attempts: int, errors: list):
+        """Fire the backup attempt; ``(result, meta)`` on a hedge win.
+
+        Returns ``None`` when no healthy backup exists, the backup
+        failed, or the backup would not have beaten the primary (a
+        hedge *lose* — the primary's result stands).
+        """
+        backup_index = next(
+            (i for i in rest if self.replicas[i].healthy), None)
+        if backup_index is None:
+            return None
+        backup = self.replicas[backup_index]
+        self._emit("hedge.launched", backup=backup.replica_id,
+                   primary_latency_ms=primary_latency,
+                   threshold_ms=threshold)
+        ok, result, backup_latency = self._attempt(
+            fn, backup_index, backup, errors)
+        hedge_latency = threshold + backup_latency
+        if ok and hedge_latency < primary_latency:
+            self._emit("hedge.win", backup=backup.replica_id,
+                       latency_ms=hedge_latency,
+                       saved_ms=primary_latency - hedge_latency)
+            return result, {"replica": backup.replica_id,
+                            "attempts": attempts + 1,
+                            "latency_ms": hedge_latency,
+                            "hedged": True, "hedge": "win"}
+        self._emit("hedge.lose", backup=backup.replica_id,
+                   backup_ok=ok, backup_latency_ms=backup_latency)
+        return None

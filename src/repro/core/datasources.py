@@ -92,6 +92,9 @@ class SourceResult:
     items: tuple
     total_matches: int
     elapsed_ms: float = 0.0
+    #: The provider served partial results (e.g. cluster shard loss or
+    #: a deadline overrun inside the scatter-gather).
+    degraded: bool = False
 
     @staticmethod
     def empty(source_id: str) -> "SourceResult":
@@ -291,10 +294,16 @@ class WebSearchSource(DataSource):
             augment_terms=self.augment_terms,
             freshness_days=self.freshness_days,
         )
+        engine_kwargs = {}
+        deadline = query.context.get("deadline")
+        if deadline is not None and getattr(self._engine,
+                                            "accepts_deadline", False):
+            engine_kwargs["deadline"] = deadline
         response = self._engine.search(
             self.vertical, query.text, options,
             app_id=query.context.get("app_id"),
             session_id=query.context.get("session_id"),
+            **engine_kwargs,
         )
         items = tuple(
             SourceItem(
@@ -310,6 +319,7 @@ class WebSearchSource(DataSource):
         return SourceResult(
             self.source_id, items, response.total_matches,
             response.elapsed_ms,
+            degraded=getattr(response, "degraded", False),
         )
 
 
@@ -361,7 +371,10 @@ class ServiceSource(DataSource):
 
     def search(self, query: SourceQuery) -> SourceResult:
         operation, params = self._build_operation(query.text)
-        response = self._bus.invoke(self.service_name, operation, params)
+        response = self._bus.invoke(
+            self.service_name, operation, params,
+            deadline=query.context.get("deadline"),
+        )
         rows = self._rows_from_response(response)
         items = []
         for i, row in enumerate(rows[:query.count]):
@@ -419,6 +432,7 @@ class AdSource(DataSource):
             app_id=query.context.get("app_id", ""),
             count=min(query.count, self.max_ads),
             now_ms=int(query.context.get("now_ms", 0)),
+            deadline=query.context.get("deadline"),
         )
         items = tuple(
             SourceItem(

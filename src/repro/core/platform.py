@@ -78,7 +78,8 @@ class Symphony:
                  cache_enabled: bool = True,
                  use_authority: bool = True,
                  cluster=None,
-                 telemetry: Telemetry | bool | None = None) -> None:
+                 telemetry: Telemetry | bool | None = None,
+                 resilience=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
@@ -86,6 +87,13 @@ class Symphony:
         if telemetry is True:
             telemetry = Telemetry(clock=self.clock)
         self.telemetry = telemetry or Telemetry.disabled()
+        # Opt-in resilience: pass a ResilienceConfig or True for the
+        # defaults — per-query deadlines, deterministic retries, and
+        # (with a cluster) hedged replica reads.
+        if resilience is True:
+            from repro.resilience import ResilienceConfig
+            resilience = ResilienceConfig()
+        self.resilience = resilience or None
         self.web = web if web is not None else WebGenerator(
             web_spec or WebSpec()
         ).build()
@@ -101,6 +109,8 @@ class Symphony:
                 self.web, config=cluster, clock=self.clock,
                 use_authority=use_authority,
                 telemetry=self.telemetry,
+                hedge=(self.resilience.hedge
+                       if self.resilience is not None else None),
             )
         else:
             self.engine = build_engine(
@@ -125,6 +135,7 @@ class Symphony:
             log=self.engine.log,
             cache_enabled=cache_enabled,
             telemetry=self.telemetry,
+            resilience=self.resilience,
         )
         self.publisher = Publisher()
         self.publisher.register_platform(SocialPlatform("facebook"))
@@ -312,14 +323,15 @@ class Symphony:
     # -- execution (§II-C) ----------------------------------------------------------
 
     def query(self, app_id: str, query_text: str, session_id: str = "",
-              customer_id: str = "", page: int = 0
-              ) -> ApplicationResponse:
+              customer_id: str = "", page: int = 0,
+              deadline_ms: float = 0.0) -> ApplicationResponse:
         return self.runtime.handle_query(QueryRequest(
             app_id=app_id,
             query_text=query_text,
             session_id=session_id,
             customer_id=customer_id,
             page=page,
+            deadline_ms=deadline_ms,
         ))
 
     # -- observability (repro.telemetry) ----------------------------------------------

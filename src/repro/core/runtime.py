@@ -22,7 +22,13 @@ from repro.core.datasources import (
     SourceResult,
 )
 from repro.core.presentation import HtmlRenderer
-from repro.errors import NotFoundError, QuotaExceededError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    NotFoundError,
+    QuotaExceededError,
+    ReproError,
+)
+from repro.resilience import Deadline, Retrier
 from repro.searchengine.logs import QueryEvent
 from repro.telemetry import Telemetry, render_span_tree
 from repro.util import SimClock
@@ -48,6 +54,10 @@ class QueryRequest:
     session_id: str = ""
     customer_id: str = ""
     page: int = 0
+    #: Per-request deadline budget in simulated ms; 0 means "use the
+    #: runtime's configured default" (or no deadline at all when the
+    #: resilience layer is off).
+    deadline_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -68,7 +78,7 @@ class PipelineTrace:
     """
 
     __slots__ = ("stages", "warnings", "span", "cache_hits",
-                 "cache_misses")
+                 "cache_misses", "degraded")
 
     def __init__(self, span=None) -> None:
         self.stages: list = []
@@ -76,6 +86,10 @@ class PipelineTrace:
         self.span = span
         self.cache_hits = 0
         self.cache_misses = 0
+        # True when this query served partial results: a source failed
+        # or was skipped (circuit open, deadline expired), or a source
+        # itself reported degraded results (cluster shard loss).
+        self.degraded = False
 
     def add_stage(self, name: str, elapsed_ms: float,
                   detail: str = "") -> None:
@@ -114,6 +128,8 @@ class PipelineTrace:
                 f"  {stage.name:<22} {stage.elapsed_ms:>9.3f} ms{detail}"
             )
         lines.append(f"  {'TOTAL':<22} {self.total_ms():>9.3f} ms")
+        if self.degraded:
+            lines.append("  DEGRADED: partial results")
         for warning in self.warnings:
             lines.append(f"  warning: {warning}")
         return "\n".join(lines)
@@ -138,6 +154,8 @@ class ApplicationResponse:
     views: tuple
     ads: tuple
     trace: PipelineTrace
+    #: Mirrors ``trace.degraded`` — partial results were served.
+    degraded: bool = False
 
 
 class ResultCache:
@@ -434,7 +452,8 @@ class SymphonyRuntime:
                  rate_limiter: "RateLimiter | None" = None,
                  circuit_breaker: "CircuitBreaker | None" = None,
                  community_feedback=None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 resilience=None) -> None:
         if supplemental_mode not in ("per_result", "batched"):
             raise ValueError(
                 f"unknown supplemental mode {supplemental_mode!r}"
@@ -464,6 +483,18 @@ class SymphonyRuntime:
         # Social search (future work item 3): when attached, community
         # votes re-rank each application's primary results.
         self.community_feedback = community_feedback
+        # Resilience (opt-in): per-query deadlines plus deterministic
+        # retries around every live source call.
+        self.resilience = resilience
+        self._retrier: Retrier | None = None
+        if resilience is not None:
+            self._retrier = Retrier(
+                self.clock, resilience.retry,
+                events=(self.telemetry.events if self.telemetry.enabled
+                        else None),
+                metrics=(self._metrics if self.telemetry.enabled
+                         else None),
+            )
 
     # -- entry point ----------------------------------------------------------
 
@@ -487,7 +518,39 @@ class SymphonyRuntime:
                 self._metrics.counter("query_warnings_total").inc(
                     len(response.trace.warnings)
                 )
+            if response.degraded:
+                self._metrics.counter(
+                    "degraded_responses_total"
+                ).inc()
         return response
+
+    def _make_deadline(self, request: QueryRequest) -> Deadline | None:
+        """The per-query budget: request override, else configured
+        default, else none (deadlines are opt-in)."""
+        budget = request.deadline_ms
+        if not budget and self.resilience is not None:
+            budget = self.resilience.deadline_ms
+        if not budget or budget <= 0:
+            return None
+        return Deadline(self.clock, budget)
+
+    def _note_deadline(self, trace, deadline, detail: str) -> None:
+        """Surface a deadline-driven degradation exactly once per event
+        source: warning + degraded flag always, telemetry event and
+        counter only for the first note of this query."""
+        trace.degraded = True
+        trace.warnings.append(
+            f"deadline exceeded "
+            f"(overshoot {deadline.overshoot_ms():.0f}ms): {detail}"
+        )
+        if not deadline.reported:
+            deadline.reported = True
+            self.telemetry.events.emit(
+                "deadline.exceeded",
+                budget_ms=deadline.budget_ms,
+                overshoot_ms=deadline.overshoot_ms(),
+            )
+            self._metrics.counter("deadline_exceeded_total").inc()
 
     def _handle_query_traced(self, request: QueryRequest,
                              root) -> ApplicationResponse:
@@ -495,6 +558,9 @@ class SymphonyRuntime:
         app = self._apps.get(request.app_id)
         if self.rate_limiter is not None:
             self.rate_limiter.check(app.app_id)
+        deadline = self._make_deadline(request)
+        if root and deadline is not None:
+            root.set("deadline_budget_ms", deadline.budget_ms)
 
         # Stage: JS shim forwards the query to Symphony.
         with self._tracer.span("stage:receive"):
@@ -507,7 +573,8 @@ class SymphonyRuntime:
             app, request, trace
         )
 
-        views, ads = self._execute_sources(app, request, query_text, trace)
+        views, ads = self._execute_sources(app, request, query_text,
+                                           trace, deadline)
 
         # Stage: merge + format to HTML.
         start_ms = self.clock.now_ms
@@ -540,6 +607,13 @@ class SymphonyRuntime:
                     view.item.url for view in views if view.item.url
                 ),
             ))
+        if (deadline is not None and deadline.expired
+                and not deadline.reported):
+            # The budget ran out after the last source call (e.g. during
+            # render) — still surface the overrun in the metadata.
+            self._note_deadline(trace, deadline, "query overran budget")
+        if root and trace.degraded:
+            root.set("degraded", True)
         return ApplicationResponse(
             app_id=app.app_id,
             query_text=request.query_text,
@@ -547,6 +621,7 @@ class SymphonyRuntime:
             views=tuple(views),
             ads=tuple(ads),
             trace=trace,
+            degraded=trace.degraded,
         )
 
     # -- stages -----------------------------------------------------------------
@@ -575,7 +650,8 @@ class SymphonyRuntime:
         )
         return query_text
 
-    def _execute_sources(self, app, request, query_text, trace):
+    def _execute_sources(self, app, request, query_text, trace,
+                         deadline=None):
         views: list[PrimaryResultView] = []
         ads: tuple = ()
         context = {
@@ -583,6 +659,10 @@ class SymphonyRuntime:
             "session_id": request.session_id,
             "now_ms": self.clock.now_ms,
         }
+        if deadline is not None:
+            # Sources pick this up from the query context and propagate
+            # it into scatter-gather / bus / auction calls.
+            context["deadline"] = deadline
 
         # Stage: primary content sources.
         primary_start = self.clock.now_ms
@@ -630,11 +710,22 @@ class SymphonyRuntime:
                 "supplemental", self.clock.now_ms - supplemental_start,
                 f"{supplemental_queries} batched queries",
             )
-            return self._finish_sources(app, request, views, trace)
+            return self._finish_sources(app, request, views, trace,
+                                        deadline)
         supplemental_queries = 0
         enriched: list[PrimaryResultView] = []
         with self._tracer.span("stage:supplemental") as stage_span:
-            for view in views:
+            for view_index, view in enumerate(views):
+                if deadline is not None and deadline.expired:
+                    # Out of budget: ship the remaining primary results
+                    # unenriched instead of fanning out further.
+                    self._note_deadline(
+                        trace, deadline,
+                        f"supplemental fan-out stopped, "
+                        f"{len(views) - view_index} views unenriched",
+                    )
+                    enriched.extend(views[view_index:])
+                    break
                 slot = self._slot_by_binding(app, view.slot_binding_id)
                 supplemental: dict[str, SourceResult] = {}
                 for child in slot.children:
@@ -677,9 +768,9 @@ class SymphonyRuntime:
             "supplemental", self.clock.now_ms - supplemental_start,
             f"{supplemental_queries} focused queries",
         )
-        return self._finish_sources(app, request, views, trace)
+        return self._finish_sources(app, request, views, trace, deadline)
 
-    def _finish_sources(self, app, request, views, trace):
+    def _finish_sources(self, app, request, views, trace, deadline=None):
         """The ads stage (only when the designer opted in — monetization
         is voluntary, per Table I)."""
         context = {
@@ -687,10 +778,17 @@ class SymphonyRuntime:
             "session_id": request.session_id,
             "now_ms": self.clock.now_ms,
         }
+        if deadline is not None:
+            context["deadline"] = deadline
         ads_start = self.clock.now_ms
         ad_bindings = app.bindings_by_role(SourceRole.ADS)
         ad_items: list = []
         if ad_bindings:
+            if deadline is not None and deadline.expired:
+                # Ads are best-effort: an overrun query ships its
+                # organic results without waiting on monetization.
+                self._note_deadline(trace, deadline, "ads stage skipped")
+                return views, ()
             with self._tracer.span("stage:ads") as stage_span:
                 for binding in ad_bindings:
                     result = self._query_source(
@@ -730,9 +828,19 @@ class SymphonyRuntime:
                     (i, derived)
                 )
 
+        deadline = context.get("deadline")
         queries_issued = 0
         results_by_binding: dict[str, object] = {}
         for binding_id, pairs in batch.items():
+            if deadline is not None and deadline.expired:
+                # Remaining bindings fan back out as empty results.
+                self._note_deadline(
+                    trace, deadline,
+                    f"batched supplemental stopped, "
+                    f"{len(batch) - len(results_by_binding)} bindings "
+                    f"unqueried",
+                )
+                break
             child_binding = app.binding(binding_id)
             unique_terms = list(dict.fromkeys(q for __, q in pairs))
             disjunction = " OR ".join(f"({q})" for q in unique_terms)
@@ -831,40 +939,88 @@ class SymphonyRuntime:
                 trace.record_cache(True)
                 return cached
             trace.record_cache(False)
+        deadline = context.get("deadline")
         with self._tracer.span("source") as span:
             if span:
                 span.set("source_id", binding.source_id)
                 span.set("query", query_text)
+            if deadline is not None and deadline.expired:
+                if span:
+                    span.set("skipped", "deadline")
+                self._note_deadline(
+                    trace, deadline,
+                    f"source {binding.source_id} skipped",
+                )
+                return SourceResult.empty(binding.source_id)
             if self.circuit_breaker.is_open(binding.source_id):
                 if span:
                     span.set("skipped", "circuit_open")
+                trace.degraded = True
                 trace.warnings.append(
                     f"source {binding.source_id} skipped: circuit open "
                     "after repeated failures"
                 )
                 return SourceResult.empty(binding.source_id)
             self.clock.advance(self._DISPATCH_MS)
+            source_query = SourceQuery(
+                text=query_text,
+                count=binding.max_results,
+                offset=offset,
+                context=query_context,
+            )
             try:
-                result = source.search(SourceQuery(
-                    text=query_text,
-                    count=binding.max_results,
-                    offset=offset,
-                    context=query_context,
-                ))
+                if self._retrier is not None:
+                    result = self._retrier.call(
+                        lambda: source.search(source_query),
+                        key=(binding.source_id, query_text),
+                        deadline=deadline,
+                        on_error=self._attempt_failed(binding.source_id),
+                    )
+                else:
+                    result = source.search(source_query)
             except ReproError as exc:
                 # Error isolation: a failing source must not take down
                 # the app.
-                self.circuit_breaker.record_failure(binding.source_id)
-                trace.warnings.append(
-                    f"source {binding.source_id} failed: {exc}"
-                )
+                if self._retrier is None:
+                    # With a retrier, the per-attempt hook already
+                    # recorded the breaker failures.
+                    self._attempt_failed(binding.source_id)(exc, 1)
+                trace.degraded = True
+                if (isinstance(exc, DeadlineExceededError)
+                        and deadline is not None):
+                    self._note_deadline(
+                        trace, deadline,
+                        f"source {binding.source_id} abandoned "
+                        f"mid-flight",
+                    )
+                else:
+                    trace.warnings.append(
+                        f"source {binding.source_id} failed: {exc}"
+                    )
                 if span:
                     span.set("error", str(exc))
                 self._metrics.counter("source_failures_total").inc()
                 return SourceResult.empty(binding.source_id)
             self.circuit_breaker.record_success(binding.source_id)
+            if result.degraded:
+                trace.degraded = True
+                trace.warnings.append(
+                    f"source {binding.source_id} returned degraded "
+                    f"(partial) results"
+                )
             if span:
                 span.set("items", len(result.items))
-        if self.cache_enabled and cacheable:
+        if self.cache_enabled and cacheable and not result.degraded:
+            # Partial results must not satisfy repeat queries for a
+            # whole TTL after the incident clears.
             self.cache.put(cache_key, result, self.clock.now_ms)
         return result
+
+    def _attempt_failed(self, source_id: str):
+        """Per-attempt failure hook: feed the circuit breaker, except
+        for deadline expiry — running out of *our* budget says nothing
+        about the provider's health."""
+        def hook(exc, attempt):
+            if not isinstance(exc, DeadlineExceededError):
+                self.circuit_breaker.record_failure(source_id)
+        return hook

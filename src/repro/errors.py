@@ -67,6 +67,32 @@ class ServiceFaultError(ServiceError):
         super().__init__(f"{code}: {reason}")
 
 
+class DeadlineExceededError(ReproError):
+    """A per-query wall-clock budget ran out before the work completed.
+
+    Raised by :class:`repro.resilience.Deadline` checks inside the service
+    bus, the cluster scatter-gather, and the ad auction.  The runtime
+    catches it and degrades to partial results; it never fails a query.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A retryable operation kept failing until the retry budget ran out.
+
+    Carries the number of ``attempts`` made and the ``cause`` — the last
+    underlying :class:`ReproError` — so callers (and warnings) can surface
+    what actually went wrong.
+    """
+
+    def __init__(self, attempts: int, cause: BaseException) -> None:
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"retries exhausted after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {cause}"
+        )
+
+
 class QueryError(ReproError):
     """A search query could not be parsed or evaluated."""
 
@@ -97,3 +123,22 @@ class RenderError(ReproError):
 
 class PublicationError(ReproError):
     """Publishing an application to a distribution target failed."""
+
+
+def retryable(exc: BaseException) -> bool:
+    """Classify whether retrying ``exc`` could plausibly succeed.
+
+    Transient provider-side failures (transport resets, simulated outages,
+    replica faults, shard exhaustion, executor timeouts, ``Server.*`` SOAP
+    faults) are retryable.  Caller mistakes (validation, authorization,
+    not-found, ``Client.*`` faults), quota rejections, and the resilience
+    layer's own terminal errors are not.
+    """
+    if isinstance(exc, (DeadlineExceededError, RetryExhaustedError)):
+        return False
+    if isinstance(exc, ServiceFaultError):
+        return exc.code.startswith("Server")
+    if isinstance(exc, (TransportError, ServiceError, ReplicaFaultError,
+                        ShardUnavailableError)):
+        return True
+    return isinstance(exc, TimeoutError)

@@ -1,0 +1,47 @@
+"""repro.resilience — deadlines, deterministic retry, hedging, chaos.
+
+The resilience layer is opt-in (``Symphony(resilience=True)`` or a custom
+:class:`ResilienceConfig`) and threads three mechanisms through the Fig. 2
+query pipeline:
+
+* :class:`Deadline` — a per-query budget propagated into supplemental
+  fan-out, cluster scatter-gather, REST/SOAP invocation, and the ad
+  auction; expiry degrades to partial results, never a failed query.
+* :class:`RetryPolicy` / :class:`Retrier` — seeded jittered exponential
+  backoff charged to the sim clock, classified per error class by
+  :func:`repro.errors.retryable`, composed with the circuit breaker.
+* :class:`HedgePolicy` — backup replica reads once an attempt exceeds a
+  learned latency quantile.
+
+The chaos harness lives in :mod:`repro.resilience.chaos` (imported
+lazily — it depends on the platform facade) and is exposed on the CLI as
+``repro chaos``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.hedging import HedgePolicy
+from repro.resilience.retry import Retrier, RetryPolicy
+
+__all__ = [
+    "Deadline",
+    "HedgePolicy",
+    "Retrier",
+    "RetryPolicy",
+    "ResilienceConfig",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Bundle of resilience knobs wired through the platform facade."""
+
+    #: Default per-query budget in simulated ms (``Symphony.query`` may
+    #: override per request via ``deadline_ms=``).
+    deadline_ms: float = 1500.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: ``None`` disables hedged replica reads.
+    hedge: HedgePolicy | None = field(default_factory=HedgePolicy)

@@ -1,0 +1,331 @@
+"""Chaos fault-plan harness: prove the resilience invariants hold.
+
+A declarative :class:`FaultPlan` (typically a committed JSON file, see
+``examples/chaos_fault_plan.json``) describes a deployment shape and a
+storm of injected faults — service outages, transport latency spikes,
+replica faults, slow replicas, and flapping replica health. The harness
+stands up a full Symphony deployment with resilience enabled, runs a
+demo-style workload under that storm, and asserts the contract the
+resilience layer promises:
+
+1. every query returns within ``deadline_ms + grace_ms`` simulated ms
+   (the grace covers fixed pipeline stages plus one worst-case
+   non-preemptible in-flight call — deadline expiry means "no new
+   work", not preemption);
+2. every query that overran its deadline is surfaced as degraded
+   (``ApplicationResponse.degraded`` with a warning in the trace); and
+3. no exception escapes the query path — faults degrade, never crash.
+
+All injection draws are seeded off the plan, so a given plan replays
+the exact same storm every run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.resilience import ResilienceConfig
+from repro.resilience.hedging import HedgePolicy
+from repro.resilience.retry import RetryPolicy
+from repro.util import deterministic_rng
+
+__all__ = ["FaultPlan", "ChaosReport", "load_fault_plan", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative chaos scenario: deployment shape + fault storm."""
+
+    name: str = "default"
+    seed: int = 2027
+    queries: int = 36
+    deadline_ms: float = 600.0
+    grace_ms: float = 400.0            # fixed stages + one in-flight call
+    # Deployment shape.
+    num_shards: int = 2
+    replicas_per_shard: int = 2
+    web: dict = field(default_factory=dict)   # WebSpec overrides
+    # Per-service bus fault profiles:
+    # name -> {failure_probability, latency_spike_ms,
+    #          latency_spike_probability}.
+    services: dict = field(default_factory=dict)
+    # Replica-level faults, drawn per query per replica.
+    replica_fault_rate: float = 0.0
+    replica_latency_spike_ms: float = 0.0
+    replica_latency_spike_rate: float = 0.0
+    replica_flap_period: int = 0       # every N queries, flip one down
+    # Resilience configuration under test.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge: HedgePolicy | None = field(default_factory=HedgePolicy)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        _missing = object()
+        data = dict(data)
+        retry = data.pop("retry", None)
+        # An explicit ``"hedge": null`` disables hedging; an absent key
+        # keeps the default policy.
+        hedge = data.pop("hedge", _missing)
+        replicas = data.pop("replicas", None)
+        if replicas:
+            data.setdefault("replica_fault_rate",
+                            replicas.get("fault_rate", 0.0))
+            data.setdefault("replica_latency_spike_ms",
+                            replicas.get("latency_spike_ms", 0.0))
+            data.setdefault("replica_latency_spike_rate",
+                            replicas.get("latency_spike_rate", 0.0))
+            data.setdefault("replica_flap_period",
+                            replicas.get("flap_period", 0))
+        cluster = data.pop("cluster", None)
+        if cluster:
+            data.setdefault("num_shards", cluster.get("num_shards", 2))
+            data.setdefault("replicas_per_shard",
+                            cluster.get("replicas_per_shard", 1))
+        plan = cls(**data)
+        if retry is not None:
+            plan = replace(plan, retry=RetryPolicy(**retry))
+        if hedge is not _missing:
+            plan = replace(
+                plan, hedge=HedgePolicy(**hedge) if hedge else None
+            )
+        return plan
+
+    def resilience(self) -> ResilienceConfig:
+        return ResilienceConfig(
+            deadline_ms=self.deadline_ms,
+            retry=self.retry,
+            hedge=self.hedge,
+        )
+
+
+def load_fault_plan(path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fileobj:
+        return FaultPlan.from_dict(json.load(fileobj))
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run observed, with the invariant verdict."""
+
+    plan_name: str
+    queries_run: int = 0
+    degraded: int = 0
+    retries: int = 0
+    retry_exhaustions: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    deadline_events: int = 0
+    max_elapsed_ms: float = 0.0
+    violations: list = field(default_factory=list)
+    escaped: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.escaped
+
+    def render(self) -> str:
+        lines = [
+            f"chaos plan {self.plan_name!r}: "
+            f"{self.queries_run} queries",
+            f"  degraded responses   {self.degraded}",
+            f"  retries / exhausted  {self.retries} / "
+            f"{self.retry_exhaustions}",
+            f"  hedges / wins        {self.hedges} / {self.hedge_wins}",
+            f"  deadline events      {self.deadline_events}",
+            f"  max elapsed (sim)    {self.max_elapsed_ms:.0f}ms",
+        ]
+        if self.escaped:
+            lines.append(f"  ESCAPED EXCEPTIONS   {len(self.escaped)}")
+            lines += [f"    - {item}" for item in self.escaped]
+        if self.violations:
+            lines.append(f"  INVARIANT VIOLATIONS {len(self.violations)}")
+            lines += [f"    - {item}" for item in self.violations]
+        lines.append("  verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _build_platform(plan: FaultPlan):
+    """A clustered, telemetry-on, resilience-on Symphony for the plan."""
+    from repro.cluster import ClusterConfig
+    from repro.core.platform import Symphony
+    from repro.services.bus import ServiceBus
+    from repro.simweb.generator import WebSpec
+
+    web = dict(plan.web)
+    web.setdefault("extra_sites_per_topic", 1)
+    web.setdefault("pages_per_site", 6)
+    web.setdefault("images_per_site", 2)
+    web.setdefault("videos_per_site", 2)
+    web.setdefault("news_per_site", 3)
+    symphony = Symphony(
+        web_spec=WebSpec(seed=plan.seed, **web),
+        cluster=ClusterConfig(
+            num_shards=plan.num_shards,
+            replicas_per_shard=plan.replicas_per_shard,
+        ),
+        telemetry=True,
+        resilience=plan.resilience(),
+        # The workload cycles a handful of titles; with the cache on,
+        # repeats would short-circuit the live path and the storm would
+        # only ever bite the first few queries.
+        cache_enabled=False,
+    )
+    # Swap in a bus seeded by the plan so fault draws replay, then apply
+    # the per-service profiles. Must happen before add_service_source:
+    # ServiceSource captures the bus at creation time.
+    bus = ServiceBus(clock=symphony.clock, seed=plan.seed)
+    bus.register(symphony.ads)
+    symphony.bus = bus
+    for name, profile in plan.services.items():
+        bus.set_fault_profile(
+            name,
+            failure_probability=profile.get("failure_probability"),
+            latency_spike_ms=profile.get("latency_spike_ms"),
+            latency_spike_probability=profile.get(
+                "latency_spike_probability"
+            ),
+        )
+    return symphony
+
+
+def _build_workload(symphony, plan: FaultPlan):
+    """A GamerQueen-style app exercising every source kind.
+
+    Primary proprietary inventory, clustered web reviews, a REST pricing
+    service (the bus fault profiles bite here), and an ad slot.
+    Returns ``(app_id, queries)``.
+    """
+    from repro.services.samples import PricingService
+
+    account = symphony.register_designer("Chaos")
+    games = symphony.web.entities["video_games"][:5]
+    rows = ["title,producer,description"]
+    rows += [f'{g},Studio {i},"A classic {g} experience"'
+             for i, g in enumerate(games)]
+    symphony.upload_http(account, "inventory.csv",
+                         "\n".join(rows).encode(), "inventory",
+                         content_type="text/csv")
+    inventory = symphony.add_proprietary_source(
+        account, "inventory",
+        search_fields=("title", "producer", "description"),
+    )
+    reviews = symphony.add_web_source(
+        "Game reviews", "web",
+        sites=("gamespot.com", "ign.com", "teamxbox.com"),
+    )
+    symphony.bus.register(PricingService(seed=plan.seed))
+    pricing = symphony.add_service_source(
+        "Live pricing", "pricing", "GET /prices/{sku}", "sku",
+        item_fields=("sku", "price", "stock", "in_stock"),
+        title_field="sku",
+    )
+    ads = symphony.add_ad_source()
+    advertiser = symphony.ads.create_advertiser("GameCo", 100.0)
+    symphony.ads.create_campaign(
+        advertiser.advertiser_id, [games[0], "game"], 0.40,
+        "GameCo Megastore", "http://gameco.example",
+    )
+    session = symphony.designer().new_application(
+        "ChaosQueen", account.tenant.tenant_id
+    )
+    slot = session.drag_source_onto_app(
+        inventory.source_id, heading="Games", max_results=3,
+        search_fields=("title", "producer", "description"),
+    )
+    session.add_hyperlink(slot, "title")
+    session.add_text(slot, "description")
+    session.drag_source_onto_result_layout(
+        slot, reviews.source_id, drive_fields=("title",),
+        heading="Reviews", max_results=2, query_suffix="review",
+    )
+    session.drag_source_onto_result_layout(
+        slot, pricing.source_id, drive_fields=("title",), max_results=1,
+    )
+    session.drag_source_onto_app(ads.source_id, heading="Sponsored")
+    return symphony.host(session), games
+
+
+def _inject_replica_chaos(engine, plan: FaultPlan, index: int) -> None:
+    """Seeded per-query replica faults, slowness, and flapping."""
+    groups = getattr(engine, "groups", None)
+    if not groups:
+        return
+    rng = deterministic_rng((plan.seed, "chaos", index))
+    for group in groups:
+        for replica in group.replicas:
+            if (plan.replica_fault_rate
+                    and rng.random() < plan.replica_fault_rate):
+                replica.inject_fault()
+            if (plan.replica_latency_spike_rate
+                    and rng.random() < plan.replica_latency_spike_rate):
+                # Vary the magnitude so the latency distribution has a
+                # tail — hedging triggers on the quantile, and a
+                # constant spike would sit exactly at it.
+                replica.inject_latency(
+                    plan.replica_latency_spike_ms * (0.5 + rng.random())
+                )
+    period = plan.replica_flap_period
+    if period and index and index % period == 0:
+        # Flap: bring everything back, then take one replica down so
+        # failover and (with >1 replica) hedging stay exercised without
+        # ever blacking out a whole shard.
+        for group in groups:
+            for replica_index in range(len(group.replicas)):
+                group.revive(replica_index)
+        flip = index // period
+        group = groups[flip % len(groups)]
+        if len(group.replicas) > 1:
+            group.kill(flip % len(group.replicas))
+
+
+def run_chaos(plan: FaultPlan) -> ChaosReport:
+    """Run the plan's fault storm and check the resilience invariants."""
+    symphony = _build_platform(plan)
+    app_id, games = _build_workload(symphony, plan)
+    report = ChaosReport(plan_name=plan.name)
+    budget = plan.deadline_ms + plan.grace_ms
+    clock = symphony.clock
+    for index in range(plan.queries):
+        _inject_replica_chaos(symphony.engine, plan, index)
+        query = games[index % len(games)]
+        started = clock.now_ms
+        try:
+            response = symphony.query(
+                app_id, query, session_id=f"chaos-{index}",
+                deadline_ms=plan.deadline_ms,
+            )
+        except Exception as exc:  # noqa: BLE001 — the invariant itself
+            report.escaped.append(
+                f"query {index} ({query!r}): "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        report.queries_run += 1
+        elapsed = clock.now_ms - started
+        report.max_elapsed_ms = max(report.max_elapsed_ms, elapsed)
+        if response.degraded:
+            report.degraded += 1
+        if elapsed > budget:
+            report.violations.append(
+                f"query {index} ({query!r}) took {elapsed:.0f}ms "
+                f"(> {plan.deadline_ms:.0f}ms deadline "
+                f"+ {plan.grace_ms:.0f}ms grace)"
+            )
+        elif elapsed > plan.deadline_ms and not response.degraded:
+            report.violations.append(
+                f"query {index} ({query!r}) overran its deadline "
+                f"({elapsed:.0f}ms) without surfacing degradation"
+            )
+    metrics = symphony.telemetry.metrics
+    report.retries = int(metrics.counter("retries_total").value)
+    report.retry_exhaustions = int(
+        metrics.counter("retry_exhausted_total").value
+    )
+    report.hedges = int(metrics.counter("hedges_total").value)
+    report.hedge_wins = int(metrics.counter("hedge_wins_total").value)
+    report.deadline_events = int(
+        metrics.counter("deadline_exceeded_total").value
+    )
+    return report

@@ -1,0 +1,41 @@
+"""Hedged replica reads.
+
+When a replica read comes back slower than a latency quantile learned
+from the observed attempt-latency distribution, the replica group fires a
+backup attempt on the next healthy replica ("hedging", per the
+tail-at-scale playbook).  The group then serves whichever attempt would
+have finished first: the hedge *wins* when ``threshold + backup latency``
+beats the primary's latency, otherwise it *loses* and the primary result
+stands.
+
+All latencies here are simulated (injected spikes consumed from the
+replica's fault queue), so hedge decisions replay deterministically.
+Until the histogram has ``min_observations`` samples the policy falls
+back to a fixed threshold; the floor of ``min_threshold_ms`` keeps the
+zero-latency clean path from ever hedging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HedgePolicy"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to launch a backup replica read."""
+
+    latency_quantile: float = 0.95
+    min_observations: int = 16
+    min_threshold_ms: float = 1.0
+    fallback_threshold_ms: float = 50.0
+
+    def threshold_ms(self, histogram) -> float:
+        """Hedge once an attempt exceeds this many simulated ms."""
+        if histogram is None or histogram.count < self.min_observations:
+            return self.fallback_threshold_ms
+        quantile = histogram.quantile(self.latency_quantile)
+        if quantile is None:
+            return self.fallback_threshold_ms
+        return max(quantile, self.min_threshold_ms)

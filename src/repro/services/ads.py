@@ -227,13 +227,20 @@ class AdService:
         return out
 
     def select_ads(self, query: str, app_id: str, count: int = 2,
-                   now_ms: int = 0) -> list[AdResult]:
+                   now_ms: int = 0, deadline=None) -> list[AdResult]:
         """Run a GSP auction for ``query`` and return up to ``count`` ads.
 
         Ranking is by bid × quality; the click price for slot *i* is the
         minimum bid that would keep its rank over slot *i+1* (classic GSP),
         floored at a 1-cent reserve.
+
+        Ads are strictly best-effort: when the query's deadline has
+        already run out the auction is refused up front
+        (:class:`~repro.errors.DeadlineExceededError`) so an overrun
+        query ships its organic results without waiting on monetization.
         """
+        if deadline is not None:
+            deadline.check("ads:auction")
         with self._tracer.span("ads:auction") as span:
             if span:
                 span.set("query", query)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 
-from repro.errors import NotFoundError, ServiceError
+from repro.errors import NotFoundError, ServiceError, TransportError
 from repro.services.bus import ServiceDescriptor
 from repro.telemetry.trace import NULL_TRACER
 
@@ -88,21 +88,37 @@ class RestService:
 
 
 class RestClient:
-    """Convenience caller for REST services on a bus."""
+    """Convenience caller for REST services on a bus.
+
+    All provider-side failures surface as :class:`ServiceError`:
+    transport resets are normalized here (and at the bus), so callers
+    — and the runtime's ``except ReproError`` warning path — handle
+    every provider failure through one class instead of special-casing
+    :class:`TransportError`.
+    """
 
     def __init__(self, bus, service_name: str) -> None:
         self._bus = bus
         self._service_name = service_name
 
-    def get(self, path: str, **params):
-        return self._bus.invoke(self._service_name, f"GET {path}", params)
+    def _invoke(self, operation: str, params: dict, deadline=None):
+        try:
+            return self._bus.invoke(self._service_name, operation,
+                                    params, deadline=deadline)
+        except TransportError as exc:
+            raise ServiceError(
+                f"transport failure calling {self._service_name}: {exc}"
+            ) from exc
 
-    def post(self, path: str, **params):
-        return self._bus.invoke(self._service_name, f"POST {path}", params)
+    def get(self, path: str, deadline=None, **params):
+        return self._invoke(f"GET {path}", params, deadline=deadline)
 
-    def must_get(self, path: str, **params):
+    def post(self, path: str, deadline=None, **params):
+        return self._invoke(f"POST {path}", params, deadline=deadline)
+
+    def must_get(self, path: str, deadline=None, **params):
         """Like :meth:`get` but wraps NotFound in :class:`ServiceError`."""
         try:
-            return self.get(path, **params)
+            return self.get(path, deadline=deadline, **params)
         except NotFoundError as exc:
             raise ServiceError(str(exc)) from exc

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import NotFoundError, ServiceFaultError, ValidationError
+from repro.errors import (
+    NotFoundError,
+    ServiceError,
+    ServiceFaultError,
+    TransportError,
+    ValidationError,
+)
 from repro.services.bus import ServiceDescriptor
 from repro.telemetry.trace import NULL_TRACER
 
@@ -129,19 +135,34 @@ class SoapService:
 
 
 class SoapClient:
-    """Caller that speaks envelopes to a SOAP service through the bus."""
+    """Caller that speaks envelopes to a SOAP service through the bus.
+
+    Transport resets are normalized to :class:`ServiceError`, matching
+    :class:`~repro.services.rest.RestClient` — provider failures reach
+    callers as one uniform class (faults stay :class:`ServiceFaultError`,
+    itself a :class:`ServiceError`).
+    """
 
     def __init__(self, bus, service_name: str) -> None:
         self._bus = bus
         self._service_name = service_name
 
-    def call(self, operation: str, **parts) -> dict:
-        return self._bus.invoke(self._service_name, operation, parts)
+    def _invoke(self, operation: str, parts: dict, deadline=None):
+        try:
+            return self._bus.invoke(self._service_name, operation,
+                                    parts, deadline=deadline)
+        except TransportError as exc:
+            raise ServiceError(
+                f"transport failure calling {self._service_name}: {exc}"
+            ) from exc
 
-    def call_envelope(self, envelope: SoapEnvelope) -> SoapEnvelope:
-        body = self._bus.invoke(
-            self._service_name, envelope.operation, envelope.body
-        )
+    def call(self, operation: str, deadline=None, **parts) -> dict:
+        return self._invoke(operation, parts, deadline=deadline)
+
+    def call_envelope(self, envelope: SoapEnvelope,
+                      deadline=None) -> SoapEnvelope:
+        body = self._invoke(envelope.operation, envelope.body,
+                            deadline=deadline)
         return SoapEnvelope(
             operation=f"{envelope.operation}Response",
             body=body,

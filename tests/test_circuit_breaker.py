@@ -1,8 +1,11 @@
-"""Tests for the supplemental-source circuit breaker."""
+"""Tests for the supplemental-source circuit breaker and rate limiter."""
+
+import threading
 
 import pytest
 
-from repro.core.runtime import CircuitBreaker
+from repro.core.runtime import CircuitBreaker, RateLimiter
+from repro.errors import QuotaExceededError
 from repro.util import SimClock
 
 
@@ -77,6 +80,36 @@ class TestCircuitBreakerUnit:
         assert not breaker.is_open("s")       # verdict in: closed
         assert breaker.state("s") == "closed"
 
+    def test_concurrent_half_open_probes_admit_exactly_one(self):
+        # The half-open gate must hold under real concurrency, not just
+        # sequential calls: a burst of worker threads arriving together
+        # after cooldown gets exactly one probe through.
+        clock = SimClock(start_ms=0)
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 cooldown_ms=1000)
+        breaker.record_failure("s")
+        clock.advance(1000)
+        workers = 16
+        admitted = []
+        barrier = threading.Barrier(workers)
+
+        def probe():
+            barrier.wait()
+            if not breaker.is_open("s"):
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe)
+                   for __ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.state("s") == "half_open"
+        # The winning probe reports back; the circuit closes for all.
+        breaker.record_success("s")
+        assert breaker.state("s") == "closed"
+
     def test_failed_probe_restarts_cooldown(self):
         clock = SimClock(start_ms=0)
         breaker = CircuitBreaker(clock, failure_threshold=1,
@@ -90,6 +123,50 @@ class TestCircuitBreakerUnit:
         assert breaker.is_open("s")
         clock.advance(1)
         assert not breaker.is_open("s")
+
+
+class TestRateLimiterWindowBoundaries:
+    """Sliding-window eviction judged at exact SimClock boundaries."""
+
+    def test_evicts_exactly_at_window_edge(self):
+        clock = SimClock(start_ms=0)
+        limiter = RateLimiter(clock, max_requests=2, window_ms=1000)
+        limiter.check("app")          # t=0
+        limiter.check("app")          # t=0, window now full
+        clock.advance(999)
+        with pytest.raises(QuotaExceededError):
+            limiter.check("app")      # t=999: both t=0 events live
+        clock.advance(1)
+        # t=1000: the horizon is now-window = 0 and events at t <= 0
+        # leave the window — capacity is back at the exact boundary.
+        limiter.check("app")
+        assert limiter.remaining("app") == 1
+
+    def test_rejected_requests_do_not_consume_capacity(self):
+        clock = SimClock(start_ms=0)
+        limiter = RateLimiter(clock, max_requests=1, window_ms=1000)
+        limiter.check("app")
+        for __ in range(3):
+            with pytest.raises(QuotaExceededError):
+                limiter.check("app")
+        clock.advance(1000)
+        # Only the single admitted request occupied the window; the
+        # rejected ones must not have extended it.
+        limiter.check("app")
+
+    def test_window_slides_per_event_not_per_batch(self):
+        clock = SimClock(start_ms=0)
+        limiter = RateLimiter(clock, max_requests=2, window_ms=1000)
+        limiter.check("app")          # t=0
+        clock.advance(500)
+        limiter.check("app")          # t=500
+        clock.advance(500)
+        limiter.check("app")          # t=1000: t=0 evicted, t=500 live
+        with pytest.raises(QuotaExceededError):
+            limiter.check("app")      # t=500 + t=1000 still in window
+        clock.advance(500)
+        limiter.check("app")          # t=1500: t=500 evicted
+        assert limiter.remaining("app") == 0
 
 
 class TestCircuitBreakerIntegration:
