@@ -1,0 +1,316 @@
+"""Experiment X10 — gateway behavior under saturation.
+
+Drives the multi-tenant serving gateway through an offered-load sweep
+(1x / 2x / 4x of dispatch capacity, all of the excess from one hot
+tenant) and verifies the ISSUE's acceptance bars:
+
+* fairness — at 4x overload every non-hot tenant still completes at
+  least 80% of its fair share (DRR should deliver 100%);
+* coalescing — a stampede of identical requests collapses to a single
+  pipeline execution;
+* overhead — routing a clean, cacheless query through the gateway
+  (admission + DRR + single-flight bookkeeping) costs < 10% over
+  calling the runtime directly.
+
+Queue waits are simulated-clock milliseconds read back from the
+``gateway_queue_wait_ms`` histogram, so the sweep is deterministic;
+only the overhead section uses wall-clock timings.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_gateway_saturation.py``), recording the
+  ``x10_gateway_saturation`` artifact; or
+* standalone as a CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_gateway_saturation.py \
+          --check 0.10 --no-artifact
+
+  which exits non-zero when fairness drops below 80% of fair share or
+  the clean-path overhead exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import statistics
+import sys
+import time
+
+N_TENANTS = 4
+CAPACITY = 16          # dispatches pumped per load factor
+FAIR_SHARE = CAPACITY // N_TENANTS
+LOAD_FACTORS = (1, 2, 4)
+STAMPEDE = 16
+FAIRNESS_FLOOR = 0.8
+
+
+def _build_tenants(symphony):
+    """Host one single-source app per tenant; returns their app ids."""
+    from benchmarks.conftest import make_inventory_rows
+
+    app_ids = []
+    for i in range(N_TENANTS):
+        account = symphony.register_designer(f"X10 Tenant {i}")
+        games = symphony.web.entities["video_games"][:4]
+        table = f"x10_inventory_{i}"
+        symphony.upload_http(
+            account, f"{table}.csv", make_inventory_rows(games),
+            table, content_type="text/csv",
+        )
+        source = symphony.add_proprietary_source(
+            account, table,
+            search_fields=("title", "producer", "description"),
+        )
+        session = symphony.designer().new_application(
+            f"X10 App {i}", account.tenant.tenant_id
+        )
+        slot = session.drag_source_onto_app(
+            source.source_id, heading="Games", max_results=3,
+            search_fields=("title", "producer", "description"),
+        )
+        session.add_hyperlink(slot, "title", href_field="detail_url")
+        app_ids.append(symphony.host(session))
+    return app_ids
+
+
+def _gateway_platform(web):
+    from repro.core.platform import Symphony
+    from repro.gateway import GatewayConfig
+
+    return Symphony(web=web, use_authority=False, telemetry=True,
+                    gateway=GatewayConfig(workers=2))
+
+
+def run_load_sweep(web) -> list:
+    """One fresh platform per load factor; hot tenant floods, rest
+    offer exactly their fair share of distinct (uncacheable) queries."""
+    from repro.core.runtime import QueryRequest
+    from repro.errors import AdmissionRejectedError
+
+    rows = []
+    for factor in LOAD_FACTORS:
+        symphony = _gateway_platform(web)
+        app_ids = _build_tenants(symphony)
+        hot, cold = app_ids[0], app_ids[1:]
+        games = symphony.web.entities["video_games"][:4]
+        offered = shed = 0
+
+        def submit(app_id, query):
+            nonlocal offered, shed
+            offered += 1
+            try:
+                symphony.gateway.submit(QueryRequest(
+                    app_id=app_id, query_text=query,
+                ))
+            except AdmissionRejectedError:
+                shed += 1
+
+        for i in range(factor * FAIR_SHARE):
+            submit(hot, f"{games[i % 4]} hot f{factor} n{i}")
+        for app_id in cold:
+            for i in range(FAIR_SHARE):
+                submit(app_id, f"{games[i % 4]} {app_id} n{i}")
+        symphony.gateway.pump(max_dispatches=CAPACITY)
+
+        stats = symphony.gateway.stats()
+        completed = stats["completed"]
+        min_cold = min(completed.get(app_id, 0) for app_id in cold)
+        waits = symphony.telemetry.metrics.histogram(
+            "gateway_queue_wait_ms"
+        ).summary()
+        rows.append({
+            "factor": factor,
+            "offered": offered,
+            "dispatched": stats["dispatched"],
+            "shed": shed,
+            "hot_completed": completed.get(hot, 0),
+            "min_cold_completed": min_cold,
+            "fairness": min_cold / FAIR_SHARE,
+            "queue_wait_p99_ms": waits.get("p99") or 0.0,
+        })
+    return rows
+
+
+def run_stampede(web) -> dict:
+    """Identical concurrent requests must collapse to one execution."""
+    from repro.core.runtime import QueryRequest
+
+    symphony = _gateway_platform(web)
+    app_ids = _build_tenants(symphony)
+    query = symphony.web.entities["video_games"][0]
+    tickets = [
+        symphony.gateway.submit(QueryRequest(app_id=app_ids[0],
+                                             query_text=query))
+        for __ in range(STAMPEDE)
+    ]
+    symphony.gateway.pump()
+    stats = symphony.gateway.stats()
+    responses = {id(ticket.result()) for ticket in tickets}
+    return {
+        "submitted": STAMPEDE,
+        "dispatched": stats["dispatched"],
+        "coalesced": stats["coalesced"],
+        "coalesce_ratio": stats["coalesced"] / STAMPEDE,
+        "distinct_responses": len(responses),
+    }
+
+
+def _time_round(symphony, app_id, queries, via_gateway: bool) -> list:
+    """Cold-query wall times (ms) for one pass over ``queries``."""
+    timings = []
+    for query in queries:
+        symphony.runtime.cache.clear()
+        if via_gateway:
+            symphony.gateway.cache.clear()
+        start = time.perf_counter()
+        if via_gateway:
+            symphony.query_via_gateway(app_id, query, session_id="x10")
+        else:
+            symphony.query(app_id, query, session_id="x10")
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return timings
+
+
+def measure_overhead(web, rounds: int = 10) -> dict:
+    """Twin platforms, caches cleared per query, interleaved rounds —
+    same protocol as X9 so the delta isolates the gateway hop."""
+    from benchmarks.conftest import build_gamerqueen
+    from repro.core.platform import Symphony
+
+    platforms = {}
+    for label in ("direct", "gateway"):
+        symphony = Symphony(web=web, use_authority=False,
+                            gateway=(label == "gateway"))
+        app_id, games = build_gamerqueen(
+            symphony, designer_name=f"X10-{label}",
+            table_name=f"x10_{label}", n_supplemental=1,
+        )
+        platforms[label] = (symphony, app_id, games[:4])
+
+    for label, (symphony, app_id, queries) in platforms.items():
+        _time_round(symphony, app_id, queries, label == "gateway")
+    timings = {label: [] for label in platforms}
+    for __ in range(rounds):
+        for label, (symphony, app_id, queries) in platforms.items():
+            timings[label].extend(
+                _time_round(symphony, app_id, queries,
+                            label == "gateway")
+            )
+    result = {label: statistics.median(values)
+              for label, values in timings.items()}
+    result["overhead"] = (
+        result["gateway"] / result["direct"] - 1.0
+        if result["direct"] > 0 else 0.0
+    )
+    return result
+
+
+def format_artifact(sweep, stampede, overhead,
+                    threshold: float) -> str:
+    lines = [
+        "X10 — gateway under saturation "
+        "(4 tenants, capacity 16, hot tenant floods)",
+        "",
+        "  load   offered  dispatched  shed  hot  min-cold  "
+        "fairness  p99 wait",
+    ]
+    for row in sweep:
+        lines.append(
+            f"  {row['factor']}x    {row['offered']:7d}  "
+            f"{row['dispatched']:10d}  {row['shed']:4d}  "
+            f"{row['hot_completed']:3d}  {row['min_cold_completed']:8d}  "
+            f"{row['fairness'] * 100:7.0f}%  "
+            f"{row['queue_wait_p99_ms']:7.1f}ms"
+        )
+    fairness_ok = all(row["fairness"] >= FAIRNESS_FLOOR
+                      for row in sweep)
+    coalesce_ok = (stampede["dispatched"] == 1
+                   and stampede["distinct_responses"] == 1)
+    overhead_ok = overhead["overhead"] <= threshold
+    lines += [
+        "",
+        f"  stampede: {stampede['submitted']} identical submits -> "
+        f"{stampede['dispatched']} execution(s), "
+        f"{stampede['coalesced']} coalesced "
+        f"(ratio {stampede['coalesce_ratio'] * 100:.0f}%)",
+        "",
+        f"  clean path: direct {overhead['direct']:.3f} ms/query, "
+        f"gateway {overhead['gateway']:.3f} ms/query, "
+        f"overhead {overhead['overhead'] * 100:+.1f}% "
+        f"(threshold {threshold * 100:.0f}%)",
+        "",
+        f"  {'PASS' if fairness_ok else 'FAIL'}: non-hot tenants keep "
+        f">= {FAIRNESS_FLOOR * 100:.0f}% of fair share at 4x overload",
+        f"  {'PASS' if coalesce_ok else 'FAIL'}: stampede collapses to "
+        "a single pipeline execution",
+        f"  {'PASS' if overhead_ok else 'FAIL'}: gateway hop stays "
+        "within the clean-path budget",
+    ]
+    return "\n".join(lines)
+
+
+def test_gateway_saturation(bench_web):
+    """Pytest entry point: record the artifact, enforce the bars."""
+    from benchmarks.conftest import record_artifact
+
+    threshold = 0.10
+    sweep = run_load_sweep(bench_web)
+    stampede = run_stampede(bench_web)
+    overhead = measure_overhead(bench_web, rounds=10)
+    record_artifact(
+        "x10_gateway_saturation",
+        format_artifact(sweep, stampede, overhead, threshold),
+    )
+    for row in sweep:
+        assert row["fairness"] >= FAIRNESS_FLOOR
+    assert stampede["dispatched"] == 1
+    assert stampede["distinct_responses"] == 1
+    assert overhead["overhead"] <= threshold
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gateway saturation / fairness smoke check"
+    )
+    parser.add_argument("--check", type=float, default=0.10,
+                        help="max allowed clean-path overhead "
+                             "fraction (default 0.10)")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing benchmarks/artifacts/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    from repro.simweb.generator import WebGenerator, WebSpec
+
+    spec = WebSpec(seed=args.seed,
+                   topics=("video_games", "wine", "news"),
+                   extra_sites_per_topic=1, pages_per_site=8,
+                   images_per_site=3, videos_per_site=2,
+                   news_per_site=4)
+    web = WebGenerator(spec).build()
+    sweep = run_load_sweep(web)
+    stampede = run_stampede(web)
+    overhead = measure_overhead(web, rounds=args.rounds)
+    text = format_artifact(sweep, stampede, overhead, args.check)
+    print(text)
+    if not args.no_artifact:
+        artifact_dir = repo_root / "benchmarks" / "artifacts"
+        artifact_dir.mkdir(exist_ok=True)
+        (artifact_dir / "x10_gateway_saturation.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+    ok = (
+        all(row["fairness"] >= FAIRNESS_FLOOR for row in sweep)
+        and stampede["dispatched"] == 1
+        and overhead["overhead"] <= args.check
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli telemetry            # trace one clustered query
     python -m repro.cli telemetry --input t.jsonl  # report an export
     python -m repro.cli chaos --plan examples/chaos_fault_plan.json
+    python -m repro.cli gateway              # saturate the front door
+    python -m repro.cli gateway --input t.jsonl  # report an export
 """
 
 from __future__ import annotations
@@ -195,6 +197,83 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _gateway_report_from_export(data: dict) -> str:
+    """Summarize gateway activity out of a telemetry JSONL export."""
+    lines = ["Gateway report (from telemetry export):"]
+    sheds = [e for e in data.get("events", ())
+             if e.get("kind") == "gateway.shed"]
+    by_reason: dict[str, int] = {}
+    for event in sheds:
+        reason = event.get("fields", {}).get("reason", "?")
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+    lines.append(f"  shed events            {len(sheds)}")
+    for reason in sorted(by_reason):
+        lines.append(f"    {reason:<20} {by_reason[reason]}")
+    bumps = [e for e in data.get("events", ())
+             if e.get("kind") == "generation.bump"]
+    lines.append(f"  generation bumps       {len(bumps)}")
+    metrics = data.get("metrics", {})
+    for kind in ("counter", "gauge"):
+        for name, value in sorted(metrics.get(kind, {}).items()):
+            if name.startswith("gateway_"):
+                lines.append(f"  {name:<38} {value}")
+    for name, summary in sorted(metrics.get("histogram", {}).items()):
+        if name.startswith("gateway_"):
+            lines.append(
+                f"  {name:<38} count={summary.get('count', 0)} "
+                f"p50={summary.get('p50', 0):.1f} "
+                f"p99={summary.get('p99', 0):.1f}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_gateway(args) -> int:
+    from repro.telemetry import load_jsonl
+
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as fileobj:
+            data = load_jsonl(fileobj)
+        print(_gateway_report_from_export(data))
+        return 0
+
+    # No input: saturate a gateway-fronted deployment with a stampede of
+    # duplicate queries plus distinct ones, then report what it did.
+    from repro.errors import AdmissionRejectedError
+    from repro.gateway import GatewayConfig, TenantPolicy
+
+    config = GatewayConfig(
+        workers=args.workers,
+        default_policy=TenantPolicy(max_queue_depth=args.queue_depth),
+    )
+    symphony = _build_platform(args.seed, telemetry=True,
+                               gateway=config)
+    app_id, games, __ = _build_demo_app(symphony)
+    submitted = 0
+    for round_no in range(args.rounds):
+        for game in games:
+            # A stampede: every query arrives twice before dispatch.
+            for __ in range(2):
+                submitted += 1
+                try:
+                    symphony.gateway.submit(
+                        _gateway_request(app_id, game, round_no)
+                    )
+                except AdmissionRejectedError:
+                    pass
+        symphony.gateway.pump()
+    print(symphony.gateway.describe())
+    if args.output:
+        count = symphony.export_telemetry(args.output)
+        print(f"\nwrote {count} JSONL lines to {args.output}")
+    return 0
+
+
+def _gateway_request(app_id: str, query: str, round_no: int):
+    from repro.core.runtime import QueryRequest
+    return QueryRequest(app_id=app_id, query_text=query,
+                        session_id=f"cli-gateway-{round_no}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -253,6 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "built-in defaults)")
     chaos.add_argument("--queries", type=int, default=0,
                        help="override the plan's query count")
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="saturate the serving gateway (or report an export)",
+    )
+    gateway.add_argument("--rounds", type=int, default=3,
+                         help="stampede rounds to submit (default 3)")
+    gateway.add_argument("--workers", type=int, default=4,
+                         help="modeled dispatch parallelism")
+    gateway.add_argument("--queue-depth", type=int, default=16,
+                         help="per-tenant queue bound (default 16)")
+    gateway.add_argument("--input", default="",
+                         help="report a previously exported telemetry "
+                              "JSONL file instead of running traffic")
+    gateway.add_argument("--output", default="",
+                         help="also export collected telemetry as "
+                              "JSONL to this path")
     return parser
 
 
@@ -264,6 +360,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "telemetry": _cmd_telemetry,
     "chaos": _cmd_chaos,
+    "gateway": _cmd_gateway,
 }
 
 

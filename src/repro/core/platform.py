@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.capability import CapabilityProfile
+from repro.errors import ConfigurationError
 from repro.core.datasources import (
     AdSource,
     CustomerProfileSource,
@@ -38,6 +39,7 @@ from repro.core.runtime import (
     QueryRequest,
     SymphonyRuntime,
 )
+from repro.gateway.generations import GenerationRegistry, table_key
 from repro.ingest.crawler import Crawler, CrawlPolicy
 from repro.ingest.pipeline import DatasetIngestor, IngestReport
 from repro.ingest.rss import FeedPublisher
@@ -79,7 +81,8 @@ class Symphony:
                  use_authority: bool = True,
                  cluster=None,
                  telemetry: Telemetry | bool | None = None,
-                 resilience=None) -> None:
+                 resilience=None,
+                 gateway=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
@@ -148,7 +151,51 @@ class Symphony:
         self.feeds = FeedPublisher(self.web)
         from repro.core.frontend import HostingFrontend
         self.frontend = HostingFrontend(self.router, self.runtime)
+        # Data generations: ingest/refresh bump a table's generation,
+        # which (a) kills matching runtime result-cache entries now and
+        # (b) invalidates gateway query-cache entries on their next read.
+        self.generations = GenerationRegistry(
+            events=(self.telemetry.events if self.telemetry.enabled
+                    else None),
+        )
+        self.generations.subscribe(self._on_generation_bump)
+        # Opt-in serving gateway: pass a GatewayConfig or True for the
+        # defaults — admission control, weighted fair queueing, request
+        # coalescing, and a generation-stamped response cache.
+        if gateway is True:
+            from repro.gateway import GatewayConfig
+            gateway = GatewayConfig()
+        self.gateway = None
+        if gateway is not None:
+            from repro.gateway import Gateway
+            self.gateway = Gateway(
+                runtime=self.runtime,
+                apps=self.apps,
+                sources=self.sources,
+                clock=self.clock,
+                generations=self.generations,
+                telemetry=self.telemetry,
+                config=gateway,
+                default_deadline_ms=(
+                    self.resilience.deadline_ms
+                    if self.resilience is not None else 0.0
+                ),
+            )
         self._designers: dict[str, DesignerAccount] = {}
+
+    def _on_generation_bump(self, key: str, generation: int) -> None:
+        """Stale-cache fix: when a tenant table is re-ingested, drop the
+        runtime's per-source cache entries for every source over it."""
+        if not key.startswith("tenant:"):
+            return
+        for source_id in self.sources.ids():
+            source = self.sources.get(source_id)
+            table = getattr(source, "table", None)
+            tenant_id = getattr(source, "tenant_id", None)
+            if table is None or tenant_id is None:
+                continue
+            if table_key(tenant_id, table.name) == key:
+                self.runtime.cache.invalidate_source(source_id)
 
     # -- accounts ------------------------------------------------------------
 
@@ -180,6 +227,7 @@ class Symphony:
         return DatasetIngestor(
             tenant,
             telemetry=self.telemetry if self.telemetry.enabled else None,
+            generations=self.generations,
         )
 
     def upload_http(self, account: DesignerAccount, filename: str,
@@ -326,6 +374,32 @@ class Symphony:
               customer_id: str = "", page: int = 0,
               deadline_ms: float = 0.0) -> ApplicationResponse:
         return self.runtime.handle_query(QueryRequest(
+            app_id=app_id,
+            query_text=query_text,
+            session_id=session_id,
+            customer_id=customer_id,
+            page=page,
+            deadline_ms=deadline_ms,
+        ))
+
+    def query_via_gateway(self, app_id: str, query_text: str,
+                          session_id: str = "", customer_id: str = "",
+                          page: int = 0,
+                          deadline_ms: float = 0.0
+                          ) -> ApplicationResponse:
+        """Serve a query through the multi-tenant gateway (admission,
+        fair queueing, coalescing, generation-stamped caching).
+
+        Requires ``Symphony(gateway=...)``; raises
+        :class:`~repro.errors.AdmissionRejectedError` when the request
+        is shed at the front door.
+        """
+        if self.gateway is None:
+            raise ConfigurationError(
+                "gateway not enabled; construct "
+                "Symphony(gateway=True) or pass a GatewayConfig"
+            )
+        return self.gateway.query(QueryRequest(
             app_id=app_id,
             query_text=query_text,
             session_id=session_id,

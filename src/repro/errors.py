@@ -93,6 +93,25 @@ class RetryExhaustedError(ReproError):
         )
 
 
+class AdmissionRejectedError(ReproError):
+    """The serving gateway refused a request before execution.
+
+    Carries the machine-readable ``reason`` — ``"throttle"`` (token
+    bucket empty), ``"queue_full"`` (per-tenant queue at capacity),
+    ``"deadline"`` (projected queue wait would consume the request's
+    budget), or ``"deadline_lapsed"`` (budget ran out while queued).
+    Shedding at the front door is deliberate: the caller learns
+    immediately instead of timing out inside the pipeline.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        message = f"admission rejected ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class QueryError(ReproError):
     """A search query could not be parsed or evaluated."""
 

@@ -1,0 +1,112 @@
+"""The gateway's shared, generation-stamped query cache.
+
+Unlike the runtime's per-source :class:`~repro.gateway.primitives.
+ResultCache`, this caches whole :class:`~repro.core.runtime.
+ApplicationResponse` objects keyed by ``(app_id, app version,
+normalized query, page, customer)`` — one hit skips the entire pipeline.
+Every entry is stamped with the generations (see
+:mod:`repro.gateway.generations`) of the data the response was computed
+from; a designer re-ingesting her table bumps the generation and every
+stamped entry becomes invisible on its next read.  Stale hits are
+therefore *impossible*, not merely bounded by TTL.
+
+Stampede protection is the gateway's single-flight table: a miss here
+enters the flight table before executing, so concurrent misses for one
+key cost one execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["QueryCache", "normalize_query"]
+
+
+def normalize_query(text: str) -> str:
+    """Collapse the query variations that cannot change results.
+
+    Case folding matches the search substrate (analysis lowercases
+    terms); whitespace runs collapse to single spaces.
+    """
+    return " ".join(text.split()).lower()
+
+
+class QueryCache:
+    """LRU + TTL response cache validated against a generation registry."""
+
+    def __init__(self, generations, max_entries: int = 1024,
+                 ttl_ms: int = 30_000) -> None:
+        if max_entries <= 0 or ttl_ms <= 0:
+            raise ValueError("query cache parameters must be positive")
+        self._generations = generations
+        self.max_entries = max_entries
+        self.ttl_ms = ttl_ms
+        #: key -> (stored_ms, stamp dict, response)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._stale_hits = 0
+        self._ttl_evictions = 0
+        self._lru_evictions = 0
+
+    def get(self, key, now_ms: int):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_ms, stamp, response = entry
+            if now_ms - stored_ms > self.ttl_ms:
+                del self._entries[key]
+                self._ttl_evictions += 1
+                self._misses += 1
+                return None
+            if not self._generations.valid(stamp):
+                # The data this response was computed from has been
+                # re-ingested; the entry is dead regardless of TTL.
+                del self._entries[key]
+                self._stale_hits += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return response
+
+    def put(self, key, response, generation_keys, now_ms: int) -> None:
+        stamp = self._generations.snapshot(generation_keys)
+        with self._lock:
+            self._entries[key] = (now_ms, stamp, response)
+            self._entries.move_to_end(key)
+            expired = [
+                k for k, (stored, __, ___) in self._entries.items()
+                if now_ms - stored > self.ttl_ms
+            ]
+            for k in expired:
+                del self._entries[k]
+            self._ttl_evictions += len(expired)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._lru_evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": (self._hits / total) if total else 0.0,
+                "stale_invalidations": self._stale_hits,
+                "ttl_evictions": self._ttl_evictions,
+                "lru_evictions": self._lru_evictions,
+                "entries": len(self._entries),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

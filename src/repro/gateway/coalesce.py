@@ -1,0 +1,116 @@
+"""Single-flight request coalescing.
+
+An embed snippet on a popular page stampedes Symphony with identical
+queries.  Executing each one would recompute the same scatter-gather N
+times; instead, concurrent identical requests — same application,
+normalized query text, page, and customer — collapse onto one in-flight
+:class:`FlightEntry` whose result fans out to every attached
+:class:`Ticket`.  The same mechanism is the cache's stampede protection:
+a miss enters the flight table, so the second-through-Nth misses for a
+key wait on the first instead of piling onto the backend.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Ticket", "FlightEntry", "SingleFlightTable"]
+
+
+class Ticket:
+    """One caller's handle to an admitted (possibly shared) request."""
+
+    __slots__ = ("key", "principal", "coalesced", "submitted_ms",
+                 "_event", "_response", "_error")
+
+    def __init__(self, key, principal: str, submitted_ms: int,
+                 coalesced: bool = False) -> None:
+        self.key = key
+        self.principal = principal
+        self.coalesced = coalesced
+        self.submitted_ms = submitted_ms
+        self._event = threading.Event()
+        self._response = None
+        self._error = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, response) -> None:
+        self._response = response
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self):
+        """The response; raises what the execution raised. Blocks only
+        when another thread owns the dispatch."""
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+
+class FlightEntry:
+    """One queued/executing request plus every ticket riding on it."""
+
+    __slots__ = ("key", "principal", "request", "deadline", "context",
+                 "enqueued_ms", "cost", "tickets", "executing")
+
+    def __init__(self, key, principal: str, request, deadline,
+                 context, enqueued_ms: int, cost: float = 1.0) -> None:
+        self.key = key
+        self.principal = principal
+        self.request = request
+        self.deadline = deadline
+        #: ``contextvars`` snapshot from submit time, so the dispatching
+        #: thread executes under the submitter's telemetry span.
+        self.context = context
+        self.enqueued_ms = enqueued_ms
+        self.cost = cost
+        self.tickets: list[Ticket] = []
+        self.executing = False
+
+    def attach(self, ticket: Ticket) -> None:
+        self.tickets.append(ticket)
+
+    def resolve_all(self, response) -> int:
+        for ticket in self.tickets:
+            ticket.resolve(response)
+        return len(self.tickets)
+
+    def fail_all(self, error: BaseException) -> int:
+        for ticket in self.tickets:
+            ticket.fail(error)
+        return len(self.tickets)
+
+
+class SingleFlightTable:
+    """Key → in-flight :class:`FlightEntry`, while queued or executing.
+
+    Not internally locked: the gateway serializes all table mutations
+    under its admission lock, which also closes the attach-vs-resolve
+    race (an entry is removed from the table and its tickets snapshotted
+    under that same lock before anything resolves).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict = {}
+
+    def lookup(self, key) -> FlightEntry | None:
+        return self._inflight.get(key)
+
+    def register(self, key, entry: FlightEntry) -> None:
+        self._inflight[key] = entry
+
+    def complete(self, key) -> None:
+        self._inflight.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._inflight)

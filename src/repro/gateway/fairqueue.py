@@ -1,0 +1,101 @@
+"""Weighted fair queueing: deficit round-robin over per-tenant queues.
+
+Classic DRR (Shreedhar & Varghese): each principal owns a FIFO of
+pending entries and a deficit counter.  On each visit to a backlogged
+principal the deficit grows by ``quantum * weight``; the principal may
+dispatch entries while its deficit covers their cost.  A hot tenant
+flooding the gateway therefore only ever gets its weighted share of
+dispatches per round — everyone else's queue drains at its own fair
+rate, which is the ISSUE's "no application monopolizes the runtime"
+guarantee.
+
+The queue is cost-aware but the gateway currently charges every request
+cost 1.0, so with equal weights DRR degenerates to plain round-robin.
+Not internally locked — the gateway serializes access.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["DeficitRoundRobinQueue"]
+
+
+class DeficitRoundRobinQueue:
+    """DRR scheduler over per-principal FIFOs of flight entries."""
+
+    def __init__(self, quantum: float = 1.0, weight_of=None) -> None:
+        if quantum <= 0:
+            raise ValueError("DRR quantum must be positive")
+        self.quantum = quantum
+        #: ``weight_of(principal) -> float``; defaults to weight 1.
+        self._weight_of = weight_of or (lambda principal: 1.0)
+        self._queues: dict[str, deque] = {}
+        self._deficit: dict[str, float] = {}
+        #: Round-robin rotation of principals with a backlog.
+        self._active: deque = deque()
+
+    def push(self, entry) -> None:
+        """Enqueue ``entry`` (needs ``.principal`` and ``.cost``)."""
+        principal = entry.principal
+        queue = self._queues.get(principal)
+        if queue is None:
+            queue = self._queues[principal] = deque()
+        if not queue and principal not in self._active:
+            self._active.append(principal)
+        queue.append(entry)
+
+    def pop(self):
+        """Next entry in DRR order, or ``None`` when idle.
+
+        Keeps rotating until an entry is servable: every visit to a
+        backlogged principal grows its deficit by a full quantum, so an
+        expensive head entry (cost > quantum * weight) is reached after
+        finitely many rotations rather than stalling the queue.
+        """
+        while self._active:
+            principal = self._active[0]
+            queue = self._queues.get(principal)
+            if not queue:
+                # Backlog drained since this principal was scheduled.
+                self._active.popleft()
+                self._deficit[principal] = 0.0
+                continue
+            head_cost = queue[0].cost
+            deficit = self._deficit.get(principal, 0.0)
+            if deficit < head_cost:
+                deficit += self.quantum * self._weight_of(principal)
+                self._deficit[principal] = deficit
+                if deficit < head_cost:
+                    # Quantum too small for the head entry this round;
+                    # carry the deficit and let the rotation continue.
+                    self._active.rotate(-1)
+                    continue
+            entry = queue.popleft()
+            self._deficit[principal] = deficit - head_cost
+            if not queue:
+                # Idle principals forfeit their deficit (standard DRR):
+                # credit must not accumulate while there is nothing to
+                # send, or a returning tenant would burst unfairly.
+                self._active.popleft()
+                self._deficit[principal] = 0.0
+            elif self._deficit[principal] < queue[0].cost:
+                # Spent this round's quantum: go to the back of the
+                # rotation so the next principal gets served.
+                self._active.rotate(-1)
+            return entry
+        return None
+
+    def depth(self, principal: str | None = None) -> int:
+        if principal is not None:
+            queue = self._queues.get(principal)
+            return len(queue) if queue else 0
+        return sum(len(queue) for queue in self._queues.values())
+
+    def depths(self) -> dict:
+        """Live per-principal backlog (only non-empty queues)."""
+        return {principal: len(queue)
+                for principal, queue in self._queues.items() if queue}
+
+    def __len__(self) -> int:
+        return self.depth()

@@ -1,0 +1,78 @@
+"""Corpus/table generation stamps for invalidation-aware caching.
+
+Every cacheable computation in the serving path depends on some body of
+data — a designer's proprietary table, the crawled web corpus.  The
+:class:`GenerationRegistry` assigns each such dependency a monotonically
+increasing integer generation.  Ingest and refresh bump the generation of
+whatever they rewrote; caches stamp entries with the generations they
+were computed against and treat any mismatch as a miss, so a designer
+re-uploading her inventory can never be served results computed over the
+old rows.  Subscribers (the platform wires one that drops per-source
+:class:`~repro.gateway.primitives.ResultCache` entries) get a callback on
+every bump.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["GenerationRegistry", "table_key", "CORPUS_KEY"]
+
+#: Generation key for the shared synthetic-web corpus.
+CORPUS_KEY = "corpus"
+
+
+def table_key(tenant_id: str, table_name: str) -> str:
+    """The generation key of one tenant's table."""
+    return f"tenant:{tenant_id}:{table_name}"
+
+
+class GenerationRegistry:
+    """Monotonic generation counters keyed by data dependency.
+
+    A key that was never bumped is at generation 0, so caches can stamp
+    entries before the first ingest without special-casing.
+    """
+
+    def __init__(self, events=None) -> None:
+        self._generations: dict[str, int] = {}
+        self._listeners: list = []
+        self._lock = threading.Lock()
+        self._events = events
+
+    def current(self, key: str) -> int:
+        with self._lock:
+            return self._generations.get(key, 0)
+
+    def snapshot(self, keys) -> dict:
+        """Current generation of each key, as a cache stamp."""
+        with self._lock:
+            return {key: self._generations.get(key, 0) for key in keys}
+
+    def valid(self, stamp: dict) -> bool:
+        """True while every stamped generation is still current."""
+        with self._lock:
+            return all(self._generations.get(key, 0) == generation
+                       for key, generation in stamp.items())
+
+    def bump(self, key: str) -> int:
+        """Advance ``key`` to a new generation; notifies subscribers."""
+        with self._lock:
+            generation = self._generations.get(key, 0) + 1
+            self._generations[key] = generation
+            listeners = list(self._listeners)
+        if self._events is not None:
+            self._events.emit("generation.bump", key=key,
+                              generation=generation)
+        for listener in listeners:
+            listener(key, generation)
+        return generation
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(key, generation)`` to run on every bump."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._generations)

@@ -1,0 +1,266 @@
+"""Shared serving primitives: result cache, circuit breaker, rate limiter.
+
+These classes grew up inside :mod:`repro.core.runtime`; the gateway, the
+cluster, and the runtime all use them, so they live here now.  The
+runtime re-exports them under their historical names
+(``repro.core.runtime.ResultCache`` etc.) for backward compatibility.
+
+Everything is judged against :class:`repro.util.SimClock` and guarded by
+locks: cluster worker threads, gateway dispatchers, and concurrent app
+queries share these objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from repro.errors import QuotaExceededError
+
+__all__ = ["ResultCache", "CircuitBreaker", "RateLimiter"]
+
+
+class ResultCache:
+    """LRU cache of :class:`SourceResult` keyed by (source, query, count).
+
+    TTL is judged against the simulated clock so tests can age entries
+    deterministically. Expired entries are swept on every ``put`` (not
+    just when their key is re-read), so an app issuing many distinct
+    queries cannot hold dead entries up to the LRU cap. Thread-safe:
+    cluster worker threads and concurrent app queries share one cache.
+
+    Keys are tuples whose first element is the owning source id, which
+    :meth:`invalidate_source` relies on to drop a source's entries when
+    its backing data changes (re-ingest, refresh).
+    """
+
+    def __init__(self, max_entries: int = 512,
+                 ttl_ms: int = 5 * 60 * 1000) -> None:
+        self.max_entries = max_entries
+        self.ttl_ms = ttl_ms
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._ttl_evictions = 0
+        self._lru_evictions = 0
+        self._invalidations = 0
+
+    def _prune(self, now_ms: int) -> None:
+        # Sweep TTL-dead entries first; only then apply the LRU cap.
+        expired = [
+            key for key, (stored_ms, __) in self._entries.items()
+            if now_ms - stored_ms > self.ttl_ms
+        ]
+        for key in expired:
+            del self._entries[key]
+        self._ttl_evictions += len(expired)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._lru_evictions += 1
+
+    def get(self, key, now_ms: int):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_ms, value = entry
+            if now_ms - stored_ms > self.ttl_ms:
+                del self._entries[key]
+                self._ttl_evictions += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def stats(self) -> dict:
+        """Lifetime cache statistics (feeds the metrics registry)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "ttl_evictions": self._ttl_evictions,
+                "lru_evictions": self._lru_evictions,
+                "invalidations": self._invalidations,
+                "entries": len(self._entries),
+            }
+
+    def put(self, key, value, now_ms: int) -> None:
+        with self._lock:
+            self._entries[key] = (now_ms, value)
+            self._entries.move_to_end(key)
+            self._prune(now_ms)
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns
+        how many were dropped."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
+
+    def invalidate_source(self, source_id: str) -> int:
+        """Drop every entry cached for ``source_id``.
+
+        This is the stale-cache fix for designer re-ingest: when a
+        proprietary table is reloaded, results computed against the old
+        rows must not survive for the rest of their TTL.
+        """
+        return self.invalidate_where(
+            lambda key: key and key[0] == source_id
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class CircuitBreaker:
+    """Per-source circuit breaker for the supplemental fan-out.
+
+    A source that keeps failing should stop being called on every
+    query — each attempt costs latency the end user feels. After
+    ``failure_threshold`` consecutive failures the circuit opens and
+    calls are skipped (with a trace warning) until ``cooldown_ms`` of
+    simulated time has passed; the next call then probes the source
+    (half-open) and either closes the circuit or re-opens it.
+    """
+
+    def __init__(self, clock, failure_threshold: int = 3,
+                 cooldown_ms: int = 60_000, events=None) -> None:
+        if failure_threshold <= 0 or cooldown_ms <= 0:
+            raise ValueError(
+                "circuit breaker parameters must be positive"
+            )
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._events = events
+        self._consecutive_failures: dict[str, int] = {}
+        self._opened_at_ms: dict[str, int] = {}
+        self._half_open: set[str] = set()
+        self._lock = threading.RLock()
+
+    def _emit(self, kind: str, source_id: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, source=source_id, **fields)
+
+    def is_open(self, source_id: str) -> bool:
+        with self._lock:
+            opened_at = self._opened_at_ms.get(source_id)
+            if opened_at is None:
+                return False
+            if self._clock.now_ms - opened_at < self.cooldown_ms:
+                return True
+            # Half-open: admit exactly one probe; everyone else stays
+            # blocked until the probe reports success or failure.
+            if source_id in self._half_open:
+                return True
+            self._half_open.add(source_id)
+            self._emit("circuit.half_open", source_id)
+            return False
+
+    def record_failure(self, source_id: str) -> None:
+        with self._lock:
+            probing = source_id in self._half_open
+            self._half_open.discard(source_id)
+            if probing:
+                # Failed probe: re-open immediately with a fresh cooldown.
+                self._consecutive_failures[source_id] = \
+                    self.failure_threshold
+                self._opened_at_ms[source_id] = self._clock.now_ms
+                self._emit("circuit.reopen", source_id)
+                return
+            count = self._consecutive_failures.get(source_id, 0) + 1
+            self._consecutive_failures[source_id] = count
+            if count >= self.failure_threshold:
+                was_open = source_id in self._opened_at_ms
+                self._opened_at_ms[source_id] = self._clock.now_ms
+                if not was_open:
+                    self._emit("circuit.open", source_id,
+                               failures=count)
+
+    def record_success(self, source_id: str) -> None:
+        with self._lock:
+            was_tripped = (source_id in self._half_open
+                           or source_id in self._opened_at_ms)
+            self._half_open.discard(source_id)
+            self._consecutive_failures.pop(source_id, None)
+            self._opened_at_ms.pop(source_id, None)
+            if was_tripped:
+                self._emit("circuit.closed", source_id)
+
+    def state(self, source_id: str) -> str:
+        with self._lock:
+            if source_id in self._half_open:
+                return "half_open"
+            if source_id in self._opened_at_ms:
+                return "open"
+            if self._consecutive_failures.get(source_id, 0) > 0:
+                return "degraded"
+            return "closed"
+
+
+class RateLimiter:
+    """Sliding-window per-application request limiter.
+
+    Hosting shoulders every application's execution cost (§II-A
+    Hosting), so a runaway embed must not starve the platform. Judged
+    against the simulated clock; disabled unless attached to a runtime.
+    """
+
+    def __init__(self, clock, max_requests: int = 600,
+                 window_ms: int = 60_000, events=None) -> None:
+        if max_requests <= 0 or window_ms <= 0:
+            raise ValueError("rate limit parameters must be positive")
+        self._clock = clock
+        self.max_requests = max_requests
+        self.window_ms = window_ms
+        self._sink = events
+        # Timestamps are appended in clock order, so eviction is always
+        # from the left: a deque makes that O(1) per expired event where
+        # list.pop(0) was O(n) at exactly the traffic the limiter exists
+        # to police.
+        self._events: dict[str, deque] = {}
+        self._lock = threading.Lock()
+
+    def _evict(self, events: deque, horizon: int) -> None:
+        while events and events[0] <= horizon:
+            events.popleft()
+
+    def check(self, app_id: str) -> None:
+        """Record one request; raise when the app exceeds its window."""
+        with self._lock:
+            now = self._clock.now_ms
+            horizon = now - self.window_ms
+            events = self._events.setdefault(app_id, deque())
+            self._evict(events, horizon)
+            if len(events) >= self.max_requests:
+                if self._sink is not None:
+                    self._sink.emit(
+                        "ratelimit.rejected", app_id=app_id,
+                        limit=self.max_requests,
+                        window_ms=self.window_ms,
+                    )
+                raise QuotaExceededError(
+                    f"application {app_id} exceeded "
+                    f"{self.max_requests} requests per "
+                    f"{self.window_ms} ms"
+                )
+            events.append(now)
+
+    def remaining(self, app_id: str) -> int:
+        with self._lock:
+            events = self._events.get(app_id)
+            if events is None:
+                return self.max_requests
+            self._evict(events, self._clock.now_ms - self.window_ms)
+            return max(0, self.max_requests - len(events))

@@ -98,11 +98,28 @@ def rows_from_payload(payload, fmt: str | None = None,
 
 
 class DatasetIngestor:
-    """Loads parsed uploads into a tenant's tables."""
+    """Loads parsed uploads into a tenant's tables.
 
-    def __init__(self, tenant, telemetry=None) -> None:
+    When wired with a :class:`~repro.gateway.generations.
+    GenerationRegistry`, every load that changes rows bumps the target
+    table's generation, which invalidates gateway query-cache entries
+    and runtime result-cache entries computed over the old rows.
+    """
+
+    def __init__(self, tenant, telemetry=None, generations=None) -> None:
         self._tenant = tenant
         self._telemetry = telemetry
+        self._generations = generations
+
+    def _bump_generation(self, report: IngestReport) -> None:
+        if self._generations is None or report.unchanged:
+            return
+        if not (report.inserted or report.updated):
+            return
+        from repro.gateway.generations import table_key
+        self._generations.bump(
+            table_key(self._tenant.tenant_id, report.table_name)
+        )
 
     def _record(self, report: IngestReport, source: str) -> None:
         """Emit completion telemetry for one ingestion run."""
@@ -155,6 +172,7 @@ class DatasetIngestor:
                 payload, table_name, schema, fmt, sheet, key_field,
                 indexed_fields,
             )
+        self._bump_generation(report)
         self._record(report, source="upload")
         return report
 
@@ -208,5 +226,6 @@ class DatasetIngestor:
                 table_name, table_schema, indexed_fields
             )
         report.inserted = self._tenant.insert_rows(table_name, rows)
+        self._bump_generation(report)
         self._record(report, source="rows")
         return report

@@ -33,6 +33,9 @@ class ScheduledFeed:
     action: object              # zero-arg callable -> IngestReport
     last_run_ms: int = -1
     failures: int = 0
+    #: Generation key bumped when a run changes rows (see
+    #: :mod:`repro.gateway.generations`); empty disables the bump.
+    generation_key: str = ""
 
     def due(self, now_ms: int) -> bool:
         return self.last_run_ms < 0 or \
@@ -42,19 +45,29 @@ class ScheduledFeed:
 class RefreshScheduler:
     """Owns the refresh calendar for one tenant's feeds."""
 
-    def __init__(self, clock) -> None:
+    def __init__(self, clock, generations=None) -> None:
         self._clock = clock
         self._feeds: dict[str, ScheduledFeed] = {}
+        self._generations = generations
 
-    def register(self, feed_id: str, interval_ms: int, action) -> None:
+    def register(self, feed_id: str, interval_ms: int, action,
+                 generation_key: str = "") -> None:
         """Register ``action`` (a zero-arg ingest callable) under
-        ``feed_id`` to run every ``interval_ms`` simulated ms."""
+        ``feed_id`` to run every ``interval_ms`` simulated ms.
+
+        ``generation_key`` marks which cached data a successful refresh
+        invalidates; actions built on a generation-wired
+        :class:`~repro.ingest.pipeline.DatasetIngestor` already bump
+        their table's key and can leave this empty.
+        """
         if feed_id in self._feeds:
             raise DuplicateError(f"feed already scheduled: {feed_id}")
         if interval_ms <= 0:
             raise ValueError("refresh interval must be positive")
-        self._feeds[feed_id] = ScheduledFeed(feed_id, interval_ms,
-                                             action)
+        self._feeds[feed_id] = ScheduledFeed(
+            feed_id, interval_ms, action,
+            generation_key=generation_key,
+        )
 
     def unregister(self, feed_id: str) -> None:
         if feed_id not in self._feeds:
@@ -83,13 +96,18 @@ class RefreshScheduler:
                     feed_id=feed_id, ran=True, error=str(exc),
                 ))
                 continue
-            outcomes.append(RefreshOutcome(
+            outcome = RefreshOutcome(
                 feed_id=feed_id,
                 ran=True,
                 unchanged=getattr(report, "unchanged", False),
                 inserted=getattr(report, "inserted", 0),
                 updated=getattr(report, "updated", 0),
-            ))
+            )
+            if (self._generations is not None and feed.generation_key
+                    and not outcome.unchanged
+                    and (outcome.inserted or outcome.updated)):
+                self._generations.bump(feed.generation_key)
+            outcomes.append(outcome)
         return outcomes
 
     def run_all_for(self, duration_ms: int,
