@@ -1,0 +1,335 @@
+"""Experiment X11 — autoscaler shedding latency on a hot shard.
+
+Drives the control plane through the two remediation rungs of its
+escalation ladder on a 2-shard cluster and verifies the ISSUE's
+acceptance bars:
+
+* slow replica — one replica of shard 0 starts serving every read
+  ~90 ms late; the autoscaler adds a replica, hedged reads route
+  around the slow node, and the shard's latency collapses;
+* overloaded shard — every replica of shard 0 slows in proportion to
+  the shard's document count; replicas are already at the policy
+  ceiling, so the autoscaler splits the shard, the handoff halves its
+  load, and the latency drops back inside the dead band;
+* convergence — once remediated, the final ticks produce no further
+  scaling actions (hysteresis + cooldown prevent flapping);
+* overhead — a cluster with an idle control plane installed answers
+  queries within a few percent of a plain cluster (wall-clock).
+
+Latencies are simulated-clock milliseconds from the cluster response,
+so the scenario is deterministic; only the overhead section uses
+wall-clock timings.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_reshard_autoscale.py``), recording the
+  ``x11_reshard_autoscale`` artifact; or
+* standalone as a CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_reshard_autoscale.py \
+          --check 0.05 --no-artifact
+
+  which exits non-zero when either remediation fails to shed latency,
+  the final ticks still see scaling actions, or the clean-path
+  overhead exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import statistics
+import sys
+import time
+
+QUERIES = ("news", "game", "travel", "wine review", "video", "classic")
+TICKS = 30
+BASELINE_TICKS = 3          # ticks 0-2: clean cluster, no faults
+OVERLOAD_TICK = 13          # phase 2 begins: whole shard overloaded
+SLOW_NODE_MS = 90.0         # phase 1: one replica serves this late
+QUIET_TICKS = 5             # final window that must see no actions
+LATENCY_HIGH_MS = 40.0
+LATENCY_LOW_MS = 2.0
+
+
+def _build_cluster(web, telemetry=None, hedge=None, clock=None):
+    from repro.cluster import ClusterConfig, build_clustered_engine
+
+    return build_clustered_engine(
+        web,
+        config=ClusterConfig(num_shards=2, replicas_per_shard=1),
+        clock=clock, telemetry=telemetry, hedge=hedge,
+    )
+
+
+def run_autoscale_scenario(web) -> dict:
+    """Tick the autoscaler through both remediation rungs."""
+    from repro.controlplane import (
+        Autoscaler,
+        AutoscalerPolicy,
+        ShardLifecycleManager,
+    )
+    from repro.resilience.hedging import HedgePolicy
+    from repro.telemetry import Telemetry
+    from repro.util import SimClock
+
+    clock = SimClock()
+    telemetry = Telemetry(clock=clock)
+    engine = _build_cluster(
+        web, telemetry=telemetry, clock=clock,
+        hedge=HedgePolicy(latency_quantile=0.5, min_observations=8,
+                          fallback_threshold_ms=25.0),
+    )
+    # Size handoff batches to the corpus so the split completes in a
+    # handful of ticks regardless of the web spec driving the run.
+    batch = max(64, engine.shard_doc_count(0) // 8)
+    lifecycle = ShardLifecycleManager(engine, telemetry=telemetry,
+                                      batch_size=batch)
+    policy = AutoscalerPolicy(
+        latency_high_ms=LATENCY_HIGH_MS, latency_low_ms=LATENCY_LOW_MS,
+        breach_rounds=2, cooldown_ticks=2, min_replicas=1,
+        max_replicas=2, max_shards=4, split_min_docs=1,
+        merge_max_docs=0,
+    )
+    autoscaler = Autoscaler(engine, lifecycle, telemetry=telemetry,
+                            policy=policy)
+    # Overload magnitude scales with the hot shard's document count so
+    # a split (which halves the shard) genuinely sheds the latency.
+    overload_per_doc = (1.5 * (LATENCY_HIGH_MS - 15.0)
+                        / engine.shard_doc_count(0))
+
+    def drain(replica):
+        while replica.take_latency_ms() > 0:
+            pass
+
+    rows = []
+    for tick in range(TICKS):
+        # Re-arm the fault each tick at the *current* magnitude: drain
+        # whatever the last tick left queued, then queue enough delays
+        # to cover every attempt (stats + exec + hedge backups) this
+        # tick, so stale magnitudes never outlive a topology change.
+        hot = engine.groups[0]
+        for replica in hot.replicas:
+            drain(replica)
+        if tick >= OVERLOAD_TICK:
+            spike = overload_per_doc * engine.shard_doc_count(0)
+            for replica in hot.replicas:
+                replica.inject_latency(spike, count=32)
+        elif tick >= BASELINE_TICKS:
+            hot.replicas[0].inject_latency(SLOW_NODE_MS, count=32)
+        elapsed = [engine.search("web", q).elapsed_ms
+                   for q in QUERIES]
+        decision = autoscaler.tick()
+        rows.append({
+            "tick": tick,
+            "mean_ms": statistics.fmean(elapsed),
+            "max_ms": max(elapsed),
+            "action": decision.action,
+            "reason": decision.reason,
+            "acted": decision.acted,
+            "shards": engine.num_shards,
+            "hot_replicas": len(engine.groups[0].replicas),
+        })
+
+    def phase_mean(ticks):
+        return statistics.fmean(rows[t]["mean_ms"] for t in ticks)
+
+    actions = [(r["tick"], r["action"]) for r in rows if r["acted"]]
+    slow_onset = phase_mean(range(BASELINE_TICKS, BASELINE_TICKS + 2))
+    slow_settled = phase_mean(range(OVERLOAD_TICK - 3, OVERLOAD_TICK))
+    overload_onset = phase_mean(range(OVERLOAD_TICK, OVERLOAD_TICK + 2))
+    settled = phase_mean(range(TICKS - QUIET_TICKS, TICKS))
+    return {
+        "rows": rows,
+        "actions": actions,
+        "baseline_ms": phase_mean(range(BASELINE_TICKS)),
+        "slow_onset_ms": slow_onset,
+        "slow_settled_ms": slow_settled,
+        "overload_onset_ms": overload_onset,
+        "settled_ms": settled,
+        "quiet": not any(r["acted"]
+                         for r in rows[TICKS - QUIET_TICKS:]),
+        "shards": engine.num_shards,
+        "topology_version": engine.topology_version,
+        "reshards": len(
+            telemetry.events.by_kind("reshard.complete")
+        ),
+    }
+
+
+def _time_round(engine, queries) -> list:
+    timings = []
+    for query in queries:
+        start = time.perf_counter()
+        engine.search("web", query)
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return timings
+
+
+def measure_overhead(web, rounds: int = 12) -> dict:
+    """Twin clusters, interleaved rounds — the delta isolates the cost
+    of having an (idle) control plane installed on the query path."""
+    from repro.cluster import ClusterConfig, build_clustered_engine
+    from repro.controlplane import Autoscaler, ShardLifecycleManager
+
+    engines = {}
+    for label in ("plain", "controlplane"):
+        engine = build_clustered_engine(
+            web, config=ClusterConfig(num_shards=2,
+                                      replicas_per_shard=2),
+        )
+        if label == "controlplane":
+            lifecycle = ShardLifecycleManager(engine)
+            Autoscaler(engine, lifecycle)
+        engines[label] = engine
+
+    for engine in engines.values():
+        _time_round(engine, QUERIES)
+    timings = {label: [] for label in engines}
+    for __ in range(rounds):
+        for label, engine in engines.items():
+            timings[label].extend(_time_round(engine, QUERIES))
+    result = {label: statistics.median(values)
+              for label, values in timings.items()}
+    result["overhead"] = (
+        result["controlplane"] / result["plain"] - 1.0
+        if result["plain"] > 0 else 0.0
+    )
+    return result
+
+
+def format_artifact(scenario, overhead, threshold: float) -> str:
+    lines = [
+        "X11 — autoscaler on a hot shard "
+        "(2 shards x 1 replica, slow node then overload)",
+        "",
+        "  tick  mean      max       shards  replicas[0]  action",
+    ]
+    for row in scenario["rows"]:
+        marker = " *" if row["acted"] else ""
+        lines.append(
+            f"  {row['tick']:4d}  {row['mean_ms']:7.1f}ms "
+            f"{row['max_ms']:7.1f}ms  {row['shards']:6d}  "
+            f"{row['hot_replicas']:11d}  {row['action']}{marker}"
+        )
+    actions = [action for __, action in scenario["actions"]]
+    replica_ok = ("add_replica" in actions
+                  and scenario["slow_settled_ms"]
+                  < 0.5 * scenario["slow_onset_ms"])
+    split_ok = ("split" in actions
+                and scenario["reshards"] >= 1
+                and scenario["settled_ms"]
+                < 0.7 * scenario["overload_onset_ms"]
+                and scenario["settled_ms"] < LATENCY_HIGH_MS)
+    quiet_ok = scenario["quiet"]
+    overhead_ok = overhead["overhead"] <= threshold
+    lines += [
+        "",
+        f"  actions: "
+        + (", ".join(f"tick {t}: {a}"
+                     for t, a in scenario["actions"]) or "none"),
+        f"  topology: {scenario['shards']} shards, "
+        f"version {scenario['topology_version']}, "
+        f"{scenario['reshards']} reshard(s) completed",
+        f"  latency: baseline {scenario['baseline_ms']:.1f}ms | "
+        f"slow node {scenario['slow_onset_ms']:.1f} -> "
+        f"{scenario['slow_settled_ms']:.1f}ms | "
+        f"overload {scenario['overload_onset_ms']:.1f} -> "
+        f"{scenario['settled_ms']:.1f}ms",
+        "",
+        f"  clean path: plain {overhead['plain']:.3f} ms/query, "
+        f"controlplane {overhead['controlplane']:.3f} ms/query, "
+        f"overhead {overhead['overhead'] * 100:+.1f}% "
+        f"(threshold {threshold * 100:.0f}%)",
+        "",
+        f"  {'PASS' if replica_ok else 'FAIL'}: added replica + "
+        "hedging halves the slow-node latency",
+        f"  {'PASS' if split_ok else 'FAIL'}: shard split sheds the "
+        "overload back inside the dead band",
+        f"  {'PASS' if quiet_ok else 'FAIL'}: no scaling actions in "
+        f"the final {QUIET_TICKS} ticks (no flapping)",
+        f"  {'PASS' if overhead_ok else 'FAIL'}: idle control plane "
+        "stays within the clean-path budget",
+    ]
+    return "\n".join(lines)
+
+
+def _bars_ok(scenario, overhead, threshold: float) -> bool:
+    actions = [action for __, action in scenario["actions"]]
+    return (
+        "add_replica" in actions
+        and "split" in actions
+        and scenario["reshards"] >= 1
+        and scenario["slow_settled_ms"]
+        < 0.5 * scenario["slow_onset_ms"]
+        and scenario["settled_ms"]
+        < 0.7 * scenario["overload_onset_ms"]
+        and scenario["settled_ms"] < LATENCY_HIGH_MS
+        and scenario["quiet"]
+        and overhead["overhead"] <= threshold
+    )
+
+
+def test_reshard_autoscale(bench_web):
+    """Pytest entry point: record the artifact, enforce the bars."""
+    from benchmarks.conftest import record_artifact
+
+    threshold = 0.05
+    scenario = run_autoscale_scenario(bench_web)
+    overhead = measure_overhead(bench_web, rounds=12)
+    record_artifact(
+        "x11_reshard_autoscale",
+        format_artifact(scenario, overhead, threshold),
+    )
+    actions = [action for __, action in scenario["actions"]]
+    assert "add_replica" in actions
+    assert "split" in actions
+    assert scenario["reshards"] >= 1
+    assert (scenario["slow_settled_ms"]
+            < 0.5 * scenario["slow_onset_ms"])
+    assert (scenario["settled_ms"]
+            < 0.7 * scenario["overload_onset_ms"])
+    assert scenario["settled_ms"] < LATENCY_HIGH_MS
+    assert scenario["quiet"]
+    assert overhead["overhead"] <= threshold
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="control-plane autoscaler smoke check"
+    )
+    parser.add_argument("--check", type=float, default=0.05,
+                        help="max allowed clean-path overhead "
+                             "fraction (default 0.05)")
+    parser.add_argument("--rounds", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing benchmarks/artifacts/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    from repro.simweb.generator import WebGenerator, WebSpec
+
+    spec = WebSpec(seed=args.seed,
+                   topics=("video_games", "wine", "news"),
+                   extra_sites_per_topic=1, pages_per_site=8,
+                   images_per_site=3, videos_per_site=2,
+                   news_per_site=4)
+    web = WebGenerator(spec).build()
+    scenario = run_autoscale_scenario(web)
+    overhead = measure_overhead(web, rounds=args.rounds)
+    text = format_artifact(scenario, overhead, args.check)
+    print(text)
+    if not args.no_artifact:
+        artifact_dir = repo_root / "benchmarks" / "artifacts"
+        artifact_dir.mkdir(exist_ok=True)
+        (artifact_dir / "x11_reshard_autoscale.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+    return 0 if _bars_ok(scenario, overhead, args.check) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

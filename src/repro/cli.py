@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli chaos --plan examples/chaos_fault_plan.json
     python -m repro.cli gateway              # saturate the front door
     python -m repro.cli gateway --input t.jsonl  # report an export
+    python -m repro.cli controlplane         # autoscale a hot shard
+    python -m repro.cli controlplane --split 0   # live shard split
 """
 
 from __future__ import annotations
@@ -268,6 +270,79 @@ def _cmd_gateway(args) -> int:
     return 0
 
 
+def _cmd_controlplane(args) -> int:
+    from repro.cluster import ClusterConfig
+    from repro.controlplane import AutoscalerPolicy
+    from repro.resilience import ResilienceConfig
+
+    symphony = _build_platform(
+        args.seed,
+        cluster=ClusterConfig(num_shards=args.shards,
+                              replicas_per_shard=args.replicas),
+        telemetry=True,
+        # Hedging is what lets an added replica absorb latency spikes.
+        resilience=ResilienceConfig(),
+        controlplane=AutoscalerPolicy(
+            latency_high_ms=args.latency_high,
+            latency_low_ms=args.latency_low,
+            breach_rounds=2, cooldown_ticks=2,
+            max_replicas=3, split_min_docs=1, merge_max_docs=0,
+        ),
+    )
+    engine = symphony.engine
+    lifecycle = symphony.controlplane
+
+    if args.split is not None or args.merge:
+        if args.split is not None:
+            migration = lifecycle.begin_split(args.split)
+        else:
+            migration = lifecycle.begin_merge(*args.merge)
+        print(f"{migration.kind}: shard {migration.source_id} -> "
+              f"{migration.target_id} "
+              f"({len(migration.pending)} docs to move)")
+        while lifecycle.active:
+            state = lifecycle.step()
+            response = engine.search("web", "news")
+            status = lifecycle.status() or {"pending": 0}
+            print(f"  {state:<9} pending={status['pending']:<5} "
+                  f"query: {response.total_matches} matches, "
+                  f"topology v{engine.topology_version}")
+        print(f"done: shards {list(engine.router.snapshot().shard_ids)}"
+              f", topology v{engine.topology_version}")
+        return 0
+
+    # Autoscale scenario: one shard runs hot (injected latency spikes);
+    # watch the control loop add a replica, then split the shard.
+    queries = ("news", "travel", "game review", "wine")
+    print(f"cluster: {args.shards} shards x {args.replicas} replicas; "
+          f"shard {args.hot_shard} hot "
+          f"(+{args.spike_ms:.0f}ms spikes)")
+    for __ in range(args.ticks):
+        for replica in engine.groups[args.hot_shard].replicas:
+            replica.inject_latency(args.spike_ms, 2)
+        for query in queries:
+            engine.search("web", query)
+        decision = symphony.autoscaler.tick()
+        marker = "*" if decision.acted else " "
+        shard = "" if decision.shard_id is None \
+            else f" shard={decision.shard_id}"
+        print(f" {marker} tick {decision.tick:>2}: "
+              f"{decision.action:<14}{shard}  {decision.reason}")
+    while lifecycle.active:     # land any still-open split cleanly
+        symphony.autoscaler.tick()
+    route = engine.router.snapshot()
+    print(f"final topology v{route.version}: shards "
+          f"{list(route.shard_ids)}, replicas " + ", ".join(
+              f"{sid}:{len(engine.groups[sid].replicas)}"
+              for sid in route.shard_ids))
+    for event in symphony.telemetry.events.by_kind(
+            "autoscale.decision"):
+        fields = event.fields
+        print(f"  decision @tick {fields['tick']}: {fields['action']} "
+              f"(shard {fields['shard']}) — {fields['reason']}")
+    return 0
+
+
 def _gateway_request(app_id: str, query: str, round_no: int):
     from repro.core.runtime import QueryRequest
     return QueryRequest(app_id=app_id, query_text=query,
@@ -349,6 +424,35 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--output", default="",
                          help="also export collected telemetry as "
                               "JSONL to this path")
+
+    controlplane = sub.add_parser(
+        "controlplane",
+        help="watch the autoscaler react to a hot shard, or drive a "
+             "live shard split/merge",
+    )
+    controlplane.add_argument("--shards", type=int, default=2,
+                              help="initial shard count (default 2)")
+    controlplane.add_argument("--replicas", type=int, default=2,
+                              help="replicas per shard (default 2)")
+    controlplane.add_argument("--ticks", type=int, default=14,
+                              help="autoscaler control-loop ticks")
+    controlplane.add_argument("--hot-shard", type=int, default=0,
+                              help="shard receiving latency spikes")
+    controlplane.add_argument("--spike-ms", type=float, default=80.0,
+                              help="injected replica latency per tick")
+    controlplane.add_argument("--latency-high", type=float,
+                              default=30.0,
+                              help="scale-up threshold (windowed mean)")
+    controlplane.add_argument("--latency-low", type=float, default=5.0,
+                              help="scale-down threshold")
+    controlplane.add_argument("--split", type=int, default=None,
+                              metavar="SHARD",
+                              help="instead: split SHARD live and show "
+                                   "each migration step")
+    controlplane.add_argument("--merge", type=int, nargs=2,
+                              default=None,
+                              metavar=("SOURCE", "TARGET"),
+                              help="instead: merge SOURCE into TARGET")
     return parser
 
 
@@ -361,6 +465,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "chaos": _cmd_chaos,
     "gateway": _cmd_gateway,
+    "controlplane": _cmd_controlplane,
 }
 
 

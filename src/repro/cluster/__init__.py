@@ -18,9 +18,19 @@ from repro.cluster.executor import (
     merge_ranked,
 )
 from repro.cluster.replica import ReplicaGroup, ShardReplica
-from repro.cluster.sharding import ShardRouter
+from repro.cluster.sharding import (
+    HASH_SPACE,
+    RouteMap,
+    ShardRange,
+    ShardRouter,
+    route_hash,
+)
 
 __all__ = [
+    "HASH_SPACE",
+    "RouteMap",
+    "ShardRange",
+    "route_hash",
     "ClusterConfig",
     "ClusterSearchResponse",
     "ClusteredSearchEngine",

@@ -105,7 +105,7 @@ class _ClusterIndexView:
     def __len__(self) -> int:
         return sum(
             len(group.replicas[0].vertical(self._vertical).index)
-            for group in self._engine.groups
+            for group in self._engine.active_groups()
         )
 
     def document(self, doc_id: str):
@@ -113,7 +113,7 @@ class _ClusterIndexView:
 
     def all_doc_ids(self) -> set:
         ids: set = set()
-        for group in self._engine.groups:
+        for group in self._engine.active_groups():
             ids |= group.replicas[0].vertical(
                 self._vertical).index.all_doc_ids()
         return ids
@@ -138,6 +138,28 @@ class _ClusterVerticalView:
 
     def __len__(self) -> int:
         return len(self.index)
+
+
+def _unique_by_doc(merged):
+    """Drop repeated doc_ids from an already globally ranked stream."""
+    seen: set = set()
+    for doc_id, score, shard_id in merged:
+        if doc_id in seen:
+            continue
+        seen.add(doc_id)
+        yield doc_id, score, shard_id
+
+
+def _upsert(replica, vertical, document) -> None:
+    """Dual-write add that tolerates the copy stream having arrived first."""
+    if document.doc_id not in replica.vertical(vertical).index:
+        replica.add(vertical, document)
+
+
+def _discard(replica, vertical, doc_id: str) -> None:
+    """Dual-write remove that tolerates the document not having copied yet."""
+    if doc_id in replica.vertical(vertical).index:
+        replica.remove(vertical, doc_id)
 
 
 class ClusteredSearchEngine:
@@ -172,6 +194,10 @@ class ClusteredSearchEngine:
             max_workers=self.config.max_workers or len(groups),
             shard_timeout_s=self.config.shard_timeout_s,
         )
+        # Installed by repro.controlplane during a live migration: maps
+        # a doc_id to the extra shard(s) that must also see its writes
+        # (dual-write window). None on the clean path.
+        self.write_fanout = None
         # Analyzer / field / parameter reference, independent of replica
         # health (identical to what every replica was built with).
         from repro.searchengine.engine import make_vertical_indexes
@@ -187,8 +213,42 @@ class ClusteredSearchEngine:
     def num_shards(self) -> int:
         return self.router.num_shards
 
+    @property
+    def topology_version(self) -> int:
+        return self.router.topology_version
+
+    def active_groups(self, route=None) -> list:
+        """The replica groups the given (default: current) route map
+        scatters to. Groups left dormant by a merge are excluded."""
+        route = route if route is not None else self.router.snapshot()
+        return [self.groups[shard_id] for shard_id in route.shard_ids]
+
     def group_for(self, doc_id: str) -> ReplicaGroup:
         return self.groups[self.router.shard_of(doc_id)]
+
+    def register_shard(self, group: ReplicaGroup) -> None:
+        """Attach a new (initially unrouted) replica group.
+
+        The control plane builds the group, registers it here, streams
+        documents into it, and only then flips the route map — queries
+        never scatter to a shard that is still filling.
+        """
+        if group.shard_id != len(self.groups):
+            raise ValueError(
+                f"new shard id must be {len(self.groups)}, "
+                f"got {group.shard_id}"
+            )
+        group.tracer = self._tracer
+        if self.telemetry.enabled:
+            group.events = self.telemetry.events
+        if self.hedge_policy is not None:
+            group.enable_hedging(self.hedge_policy)
+        self.groups.append(group)
+        self.executor.resize(len(self.groups))
+
+    def apply_route(self, route_map) -> None:
+        """Atomically flip the cluster to a successor route map."""
+        self.router.apply(route_map)
 
     def reference_vertical(self, vertical):
         return self._reference[Vertical(vertical)]
@@ -198,7 +258,13 @@ class ClusteredSearchEngine:
 
     def doc_count(self, vertical) -> int:
         return sum(group.replicas[0].doc_count(vertical)
-                   for group in self.groups)
+                   for group in self.active_groups())
+
+    def shard_doc_count(self, shard_id: int) -> int:
+        """Documents held by one shard, across all verticals."""
+        replica = self.groups[shard_id].replicas[0]
+        return sum(replica.doc_count(vertical)
+                   for vertical in replica.verticals)
 
     def close(self) -> None:
         self.executor.close()
@@ -220,12 +286,27 @@ class ClusteredSearchEngine:
 
     # -- incremental writes (replicated to every replica of the shard) --------
 
+    def _extra_write_shards(self, doc_id: str, primary: int) -> tuple:
+        if self.write_fanout is None:
+            return ()
+        return tuple(shard_id for shard_id in self.write_fanout(doc_id)
+                     if shard_id != primary)
+
     def add_document(self, vertical, document) -> int:
-        """Route and index one document; returns the owning shard id."""
+        """Route and index one document; returns the owning shard id.
+
+        During a live migration the control plane fans the write out to
+        the other side of the handoff as well (idempotently, since the
+        copy stream may already have delivered the document there).
+        """
         shard_id = self.router.shard_of(document.doc_id)
         self.groups[shard_id].broadcast(
             lambda replica: replica.add(vertical, document)
         )
+        for extra in self._extra_write_shards(document.doc_id, shard_id):
+            self.groups[extra].broadcast(
+                lambda replica: _upsert(replica, vertical, document)
+            )
         self._corpus_version += 1
         return shard_id
 
@@ -234,6 +315,10 @@ class ClusteredSearchEngine:
         self.groups[shard_id].broadcast(
             lambda replica: replica.remove(vertical, doc_id)
         )
+        for extra in self._extra_write_shards(doc_id, shard_id):
+            self.groups[extra].broadcast(
+                lambda replica: _discard(replica, vertical, doc_id)
+            )
         self._corpus_version += 1
         return shard_id
 
@@ -293,6 +378,13 @@ class ClusteredSearchEngine:
         terms = extract_terms(node, reference.index.analyzer)
         now_ms = self.clock.now_ms
         failed: set[int] = set()
+        # Pin one topology for the whole query: both scatter phases and
+        # the gather see the same route map even if the control plane
+        # flips it mid-flight, so a query can never mix shard layouts.
+        route = self.router.snapshot()
+        groups = self.active_groups(route)
+        if root:
+            root.set("topology_version", route.version)
 
         def wall_budget():
             return (deadline.remaining_wall_s()
@@ -307,7 +399,7 @@ class ClusteredSearchEngine:
                         group, "stats",
                         lambda r: r.collect_stats(vkey, terms),
                     )
-                    for group in self.groups
+                    for group in groups
                 }, wall_budget_s=wall_budget())
             failed |= {sid for sid, out in outcomes.items()
                        if not out.ok}
@@ -338,7 +430,7 @@ class ClusteredSearchEngine:
                 outcomes = self.executor.scatter({
                     group.shard_id: self._shard_task(
                         group, "exec", run_shard, annotated=True)
-                    for group in self.groups
+                    for group in groups
                     if group.shard_id not in failed
                 }, wall_budget_s=wall_budget())
         shard_lists: dict[int, list] = {}
@@ -361,14 +453,21 @@ class ClusteredSearchEngine:
         if self._metrics.enabled:
             latency = self._metrics.histogram("shard_latency_ms")
             for sid in sorted(candidate_counts):
-                latency.observe(
-                    simulated_latency_ms(candidate_counts[sid])
-                    + extra_latency[sid]
-                )
+                cost = (simulated_latency_ms(candidate_counts[sid])
+                        + extra_latency[sid])
+                latency.observe(cost)
+                # Per-shard series feed the control plane's autoscaler.
+                self._metrics.histogram(
+                    "shard_latency_ms", shard=str(sid)
+                ).observe(cost)
             if failed:
                 self._metrics.counter("shard_failures_total").inc(
                     len(failed)
                 )
+                for sid in failed:
+                    self._metrics.counter(
+                        "shard_failures_total", shard=str(sid)
+                    ).inc()
             if hedges:
                 self._metrics.counter("hedges_total").inc(hedges)
             if wins:
@@ -386,11 +485,23 @@ class ClusteredSearchEngine:
         if deadline is not None and deadline.expired:
             overrun = True
 
-        total_matches = sum(len(lst) for lst in shard_lists.values())
-        window = list(islice(
-            merge_ranked(shard_lists),
-            options.offset, options.offset + options.count,
-        ))
+        # Dedup on gather: during a migration's dual-read window a
+        # moving document legitimately exists on both sides of the
+        # handoff; the first (highest-ranked) copy wins. Only while that
+        # window is open (fanout installed) does the total need a full
+        # deduplicated count — the clean path keeps the lazy heap merge.
+        if self.write_fanout is not None:
+            unique = list(_unique_by_doc(merge_ranked(shard_lists)))
+            total_matches = len(unique)
+            window = unique[options.offset:
+                            options.offset + options.count]
+        else:
+            total_matches = sum(len(lst)
+                                for lst in shard_lists.values())
+            window = list(islice(
+                _unique_by_doc(merge_ranked(shard_lists)),
+                options.offset, options.offset + options.count,
+            ))
         results = tuple(
             served[shard_id].materialize(vkey, doc_id, score, terms)
             for doc_id, score, shard_id in window
@@ -419,8 +530,8 @@ class ClusteredSearchEngine:
             elapsed_ms=elapsed,
             suggestion=suggestion,
             degraded=degraded,
-            shards_total=self.num_shards,
-            shards_ok=self.num_shards - len(failed),
+            shards_total=len(groups),
+            shards_ok=len(groups) - len(failed),
             failed_shards=tuple(sorted(failed)),
             deadline_overrun=overrun,
         )
@@ -446,7 +557,7 @@ class ClusteredSearchEngine:
                     lambda r: r.compute_facets(vkey, query_text,
                                                facet_fields),
                 )
-                for group in self.groups
+                for group in self.active_groups()
             })
         merged: dict[str, dict[str, int]] = {
             name: {} for name in facet_fields
@@ -476,7 +587,7 @@ class ClusteredSearchEngine:
         corrector = self._correctors.get(cache_key)
         if corrector is None:
             frequencies: dict[str, int] = {}
-            for group in self.groups:
+            for group in self.active_groups():
                 replica = (group.healthy_replicas()
                            or group.replicas)[0]
                 for term, count in replica.term_frequencies(

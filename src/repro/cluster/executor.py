@@ -103,6 +103,21 @@ class ScatterGatherExecutor:
                 outcomes[shard_id] = ShardOutcome(shard_id, value=value)
         return outcomes
 
+    def resize(self, max_workers: int) -> None:
+        """Grow the dispatch width (e.g. after a shard split).
+
+        A shrink request is ignored — fewer shards simply leave pool
+        threads idle. The current pool is retired and rebuilt lazily at
+        the new width on the next scatter.
+        """
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if (self._max_workers is not None
+                and max_workers <= self._max_workers):
+            return
+        self.close()
+        self._max_workers = max_workers
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -181,6 +181,43 @@ class ReplicaGroup:
         self._consecutive_failures = [0] * len(self.replicas)
         self._lock = threading.Lock()
 
+    # -- membership (driven by repro.controlplane) ----------------------------
+
+    def add_replica(self, replica) -> None:
+        """Add a fully built replica to the read rotation."""
+        with self._lock:
+            self.replicas.append(replica)
+            self._consecutive_failures.append(0)
+        self._reset_latency_learning()
+
+    def remove_replica(self, replica_index: int):
+        """Drop one replica from the group; returns it."""
+        with self._lock:
+            if len(self.replicas) <= 1:
+                raise ValueError(
+                    "cannot remove the last replica of a shard"
+                )
+            replica = self.replicas.pop(replica_index)
+            self._consecutive_failures.pop(replica_index)
+        self._reset_latency_learning()
+        return replica
+
+    def _reset_latency_learning(self) -> None:
+        """Re-learn hedge latencies after a membership change.
+
+        The learned attempt-latency distribution describes the *old*
+        replica set; keeping it would let a departed slow replica (or a
+        fresh replica's cold start) poison the hedge threshold, so the
+        histogram restarts and the policy falls back to its fixed
+        threshold until enough new observations accumulate.
+        """
+        if self.latency_histogram is not None:
+            from repro.telemetry.metrics import Histogram
+            self.latency_histogram = Histogram(
+                "replica_attempt_ms",
+                labels=(("shard", str(self.shard_id)),),
+            )
+
     # -- ops hooks ------------------------------------------------------------
 
     def kill(self, replica_index: int) -> None:

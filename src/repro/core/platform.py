@@ -82,7 +82,8 @@ class Symphony:
                  cluster=None,
                  telemetry: Telemetry | bool | None = None,
                  resilience=None,
-                 gateway=None) -> None:
+                 gateway=None,
+                 controlplane=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
@@ -180,6 +181,34 @@ class Symphony:
                     self.resilience.deadline_ms
                     if self.resilience is not None else 0.0
                 ),
+            )
+        # Opt-in control plane: online resharding and telemetry-driven
+        # autoscaling over a clustered engine. Pass True for default
+        # policy or an AutoscalerPolicy to tune the thresholds.
+        self.controlplane = None
+        self.autoscaler = None
+        if controlplane:
+            if cluster is None:
+                raise ConfigurationError(
+                    "controlplane requires a clustered engine; "
+                    "construct Symphony(cluster=..., controlplane=True)"
+                )
+            from repro.controlplane import (
+                Autoscaler,
+                AutoscalerPolicy,
+                ShardLifecycleManager,
+            )
+            policy = (controlplane
+                      if isinstance(controlplane, AutoscalerPolicy)
+                      else None)
+            self.controlplane = ShardLifecycleManager(
+                self.engine,
+                generations=self.generations,
+                telemetry=self.telemetry,
+            )
+            self.autoscaler = Autoscaler(
+                self.engine, self.controlplane,
+                telemetry=self.telemetry, policy=policy,
             )
         self._designers: dict[str, DesignerAccount] = {}
 

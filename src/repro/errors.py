@@ -112,6 +112,11 @@ class AdmissionRejectedError(ReproError):
         super().__init__(message)
 
 
+class ControlPlaneError(ReproError):
+    """A topology-change request was invalid or conflicted with one in
+    flight (only one migration runs at a time)."""
+
+
 class QueryError(ReproError):
     """A search query could not be parsed or evaluated."""
 

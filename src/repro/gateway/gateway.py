@@ -36,7 +36,11 @@ from repro.gateway.admission import AdmissionController, TenantPolicy
 from repro.gateway.cache import QueryCache, normalize_query
 from repro.gateway.coalesce import FlightEntry, SingleFlightTable, Ticket
 from repro.gateway.fairqueue import DeficitRoundRobinQueue
-from repro.gateway.generations import CORPUS_KEY, table_key
+from repro.gateway.generations import (
+    CORPUS_KEY,
+    TOPOLOGY_KEY,
+    table_key,
+)
 from repro.resilience import Deadline
 from repro.telemetry import Telemetry
 
@@ -311,18 +315,23 @@ class Gateway:
 
     def _generation_keys(self, app_id: str) -> list:
         """The generation stamps a cached response for ``app_id``
-        depends on: one per proprietary table, the shared corpus for
-        web-backed sources, and a per-source fallback otherwise."""
+        depends on: one per proprietary table, the shared corpus plus
+        the cluster's shard layout for web-backed sources (the control
+        plane bumps the topology generation at every reshard cutover),
+        and a per-source fallback otherwise."""
         app = self._apps.get(app_id)
         keys = set()
         for binding in app.bindings:
             source = self._sources.get(binding.source_id)
             table = getattr(source, "table", None)
             tenant_id = getattr(source, "tenant_id", None)
+            engine = (getattr(source, "engine", None)
+                      or getattr(source, "_engine", None))
             if table is not None and tenant_id is not None:
                 keys.add(table_key(tenant_id, table.name))
-            elif getattr(source, "engine", None) is not None:
+            elif engine is not None:
                 keys.add(CORPUS_KEY)
+                keys.add(TOPOLOGY_KEY)
             else:
                 keys.add(f"source:{binding.source_id}")
         return sorted(keys)

@@ -16,10 +16,16 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["GenerationRegistry", "table_key", "CORPUS_KEY"]
+__all__ = ["GenerationRegistry", "table_key", "CORPUS_KEY",
+           "TOPOLOGY_KEY"]
 
 #: Generation key for the shared synthetic-web corpus.
 CORPUS_KEY = "corpus"
+
+#: Generation key for the cluster's shard layout. The control plane
+#: bumps it at every reshard cutover, so cached responses computed over
+#: the old topology (and the old shard contents) die immediately.
+TOPOLOGY_KEY = "cluster-topology"
 
 
 def table_key(tenant_id: str, table_name: str) -> str:

@@ -58,6 +58,13 @@ class FaultPlan:
     # Resilience configuration under test.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     hedge: HedgePolicy | None = field(default_factory=HedgePolicy)
+    # Online-resharding storm (see ``_ReshardStorm``): topology changes
+    # driven mid-workload, with per-iteration result/ownership probes.
+    #   {"steps": [{"at": 4, "op": "split", "shard": 0},
+    #              {"at": 20, "op": "merge", "source": 2, "target": 0}],
+    #    "batch_size": 24, "probe_docs": 8,
+    #    "probe_queries": ["news", "game"]}
+    reshard: dict = field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
@@ -118,6 +125,13 @@ class ChaosReport:
     hedge_wins: int = 0
     deadline_events: int = 0
     max_elapsed_ms: float = 0.0
+    # Reshard-storm accounting (zero when the plan has no storm).
+    reshards_completed: int = 0
+    handoff_batches: int = 0
+    docs_moved: int = 0
+    topology_version: int = 0
+    reshard_probes: int = 0
+    cache_cutover_probes: int = 0
     violations: list = field(default_factory=list)
     escaped: list = field(default_factory=list)
 
@@ -136,6 +150,15 @@ class ChaosReport:
             f"  deadline events      {self.deadline_events}",
             f"  max elapsed (sim)    {self.max_elapsed_ms:.0f}ms",
         ]
+        if self.reshards_completed or self.docs_moved:
+            lines += [
+                f"  reshards completed   {self.reshards_completed} "
+                f"(topology v{self.topology_version})",
+                f"  handoff batches      {self.handoff_batches} "
+                f"({self.docs_moved} docs moved)",
+                f"  reshard probes       {self.reshard_probes} "
+                f"({self.cache_cutover_probes} cache cutover checks)",
+            ]
         if self.escaped:
             lines.append(f"  ESCAPED EXCEPTIONS   {len(self.escaped)}")
             lines += [f"    - {item}" for item in self.escaped]
@@ -171,6 +194,10 @@ def _build_platform(plan: FaultPlan):
         # repeats would short-circuit the live path and the storm would
         # only ever bite the first few queries.
         cache_enabled=False,
+        # A reshard storm needs the control plane, and the gateway so
+        # the cutover cache-invalidation invariant can be probed.
+        controlplane=bool(plan.reshard) or None,
+        gateway=bool(plan.reshard) or None,
     )
     # Swap in a bus seeded by the plan so fault draws replay, then apply
     # the per-service profiles. Must happen before add_service_source:
@@ -280,11 +307,167 @@ def _inject_replica_chaos(engine, plan: FaultPlan, index: int) -> None:
             group.kill(flip % len(group.replicas))
 
 
+class _ReshardStorm:
+    """Drives scheduled topology changes through the workload and
+    checks the migration invariants after every step:
+
+    * **no dropped or duplicated results** — probe queries must return
+      exactly the pre-storm result set (urls and totals) at every
+      migration state, including the dual-read window;
+    * **no wrong-shard documents** — every sampled moving document is
+      present on the shard its current route map says owns it;
+    * **cache coherence at cutover** — a gateway-cached response primed
+      before the route flip must be generation-invalidated by it.
+    """
+
+    def __init__(self, symphony, plan: FaultPlan, app_id: str,
+                 report: ChaosReport) -> None:
+        self.symphony = symphony
+        self.plan = plan
+        self.app_id = app_id
+        self.report = report
+        self.controlplane = symphony.controlplane
+        reshard = plan.reshard
+        if reshard.get("batch_size"):
+            self.controlplane.batch_size = int(reshard["batch_size"])
+        self.ops = sorted(reshard.get("steps", []),
+                          key=lambda op: op.get("at", 0))
+        self.probe_limit = int(reshard.get("probe_docs", 8))
+        self.probe_queries = list(
+            reshard.get("probe_queries", ("news", "game"))
+        )
+        self.cache_query = str(
+            reshard.get("cache_probe_query", "storm cache probe")
+        )
+        self.baselines: dict = {}    # query -> (urls, total_matches)
+        self.doc_probes: list = []   # (vertical, doc_id) samples
+        self.started = 0
+
+    def capture_baseline(self) -> None:
+        """Record the pre-storm truth the probes are checked against."""
+        for query in self.probe_queries:
+            response = self.symphony.engine.search("web", query)
+            self.baselines[query] = (
+                tuple(r.url for r in response.results),
+                response.total_matches,
+            )
+
+    def on_query(self, index: int) -> None:
+        """One storm iteration: start/advance the migration, then probe."""
+        controlplane = self.controlplane
+        if (not controlplane.active and self.ops
+                and index >= self.ops[0].get("at", 0)):
+            self._start(self.ops.pop(0))
+        elif controlplane.active:
+            from repro.controlplane import CUTOVER
+            if controlplane.migration.state == CUTOVER:
+                self._cutover_with_cache_probe()
+            else:
+                controlplane.step()
+        self._verify(index)
+
+    def finish(self) -> None:
+        """Drive any still-open migration to completion, probing each
+        step, so the run never ends with a half-moved shard."""
+        extra = 0
+        while (self.controlplane.active or self.ops) and extra < 1000:
+            self.on_query(self.plan.queries + extra)
+            extra += 1
+        if self.controlplane.active or self.ops:
+            self.report.violations.append(
+                "reshard storm did not run to completion"
+            )
+
+    # -- internals ------------------------------------------------------------
+
+    def _start(self, op: dict) -> None:
+        if op["op"] == "split":
+            migration = self.controlplane.begin_split(op["shard"])
+        elif op["op"] == "merge":
+            migration = self.controlplane.begin_merge(
+                op["source"], op["target"])
+        else:
+            raise ValueError(f"unknown reshard op {op['op']!r}")
+        self.doc_probes.extend(migration.pending[:self.probe_limit])
+        self.started += 1
+
+    def _cutover_with_cache_probe(self) -> None:
+        """Flip the route with a primed gateway cache entry in place and
+        insist the flip invalidates it."""
+        from repro.errors import AdmissionRejectedError
+        gateway = self.symphony.gateway
+        stepped = False
+        try:
+            query = self.cache_query
+            self.symphony.query_via_gateway(self.app_id, query)
+            before = gateway.cache.stats()
+            self.symphony.query_via_gateway(self.app_id, query)
+            primed = gateway.cache.stats()
+            served_cached = primed["hits"] == before["hits"] + 1
+            self.controlplane.step()
+            stepped = True
+            self.symphony.query_via_gateway(self.app_id, query)
+            after = gateway.cache.stats()
+            if served_cached:
+                self.report.cache_cutover_probes += 1
+                if (after["stale_invalidations"]
+                        != primed["stale_invalidations"] + 1):
+                    self.report.violations.append(
+                        "reshard cutover left a stale gateway cache "
+                        "entry serving the old topology"
+                    )
+        except AdmissionRejectedError:
+            pass
+        finally:
+            if not stepped:
+                self.controlplane.step()
+
+    def _verify(self, index: int) -> None:
+        engine = self.symphony.engine
+        state = (self.controlplane.migration.state
+                 if self.controlplane.active else "idle")
+        where = f"iteration {index} ({state})"
+        for query in self.probe_queries:
+            response = engine.search("web", query)
+            urls = tuple(r.url for r in response.results)
+            base_urls, base_total = self.baselines[query]
+            if urls != base_urls:
+                self.report.violations.append(
+                    f"probe {query!r} diverged at {where}: "
+                    f"{len(set(base_urls) - set(urls))} dropped, "
+                    f"{len(set(urls) - set(base_urls))} unexpected"
+                )
+            elif response.total_matches != base_total:
+                self.report.violations.append(
+                    f"probe {query!r} total_matches "
+                    f"{response.total_matches} != {base_total} at {where}"
+                )
+            self.report.reshard_probes += 1
+        route = engine.router.snapshot()
+        for vertical, doc_id in self.doc_probes:
+            owner = route.shard_of(doc_id)
+            holders = [
+                group.shard_id
+                for group in engine.active_groups(route)
+                if doc_id in group.replicas[0].vertical(vertical).index
+            ]
+            if owner not in holders:
+                self.report.violations.append(
+                    f"doc {doc_id} missing from owning shard {owner} "
+                    f"at {where} (held by {holders})"
+                )
+            self.report.reshard_probes += 1
+
+
 def run_chaos(plan: FaultPlan) -> ChaosReport:
     """Run the plan's fault storm and check the resilience invariants."""
     symphony = _build_platform(plan)
     app_id, games = _build_workload(symphony, plan)
     report = ChaosReport(plan_name=plan.name)
+    storm = (_ReshardStorm(symphony, plan, app_id, report)
+             if plan.reshard else None)
+    if storm is not None:
+        storm.capture_baseline()
     budget = plan.deadline_ms + plan.grace_ms
     clock = symphony.clock
     for index in range(plan.queries):
@@ -317,6 +500,22 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
             report.violations.append(
                 f"query {index} ({query!r}) overran its deadline "
                 f"({elapsed:.0f}ms) without surfacing degradation"
+            )
+        if storm is not None:
+            storm.on_query(index)
+    if storm is not None:
+        storm.finish()
+        events = symphony.telemetry.events
+        report.reshards_completed = len(events.by_kind(
+            "reshard.complete"))
+        report.handoff_batches = len(events.by_kind("reshard.handoff"))
+        report.topology_version = symphony.engine.topology_version
+        report.docs_moved = int(symphony.telemetry.metrics.counter(
+            "controlplane_docs_moved_total").value)
+        if report.reshards_completed < storm.started:
+            report.violations.append(
+                f"only {report.reshards_completed} of {storm.started} "
+                f"reshards completed"
             )
     metrics = symphony.telemetry.metrics
     report.retries = int(metrics.counter("retries_total").value)
