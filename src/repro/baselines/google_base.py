@@ -30,6 +30,9 @@ class GoogleBasePlatform(BaselinePlatform):
 
     system_name = "Google Base"
     api_name = "Google (local substrate)"
+    # Base items are structured records: attribute (fielded) querying is
+    # the one query-language capability this platform has over the rest.
+    fielded_queries = True
 
     def __init__(self, engine) -> None:
         super().__init__(engine)

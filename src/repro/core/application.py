@@ -158,6 +158,9 @@ class SourceBinding:
     search_fields: tuple = ()
     drive_fields: tuple = ()
     query_suffix: str = ""
+    #: Query-generator strategy applied when deriving this binding's
+    #: query ("" = verbatim; see repro.federation.querygen).
+    query_strategy: str = ""
 
     def __post_init__(self):
         if self.max_results <= 0:
@@ -177,6 +180,7 @@ class SourceBinding:
             "search_fields": list(self.search_fields),
             "drive_fields": list(self.drive_fields),
             "query_suffix": self.query_suffix,
+            "query_strategy": self.query_strategy,
         }
 
     @classmethod
@@ -189,6 +193,7 @@ class SourceBinding:
             search_fields=tuple(data.get("search_fields", ())),
             drive_fields=tuple(data.get("drive_fields", ())),
             query_suffix=data.get("query_suffix", ""),
+            query_strategy=data.get("query_strategy", ""),
         )
 
 

@@ -53,6 +53,7 @@ class SourceKind(str, Enum):
     SERVICE = "service"
     ADS = "ads"
     CUSTOMER = "customer"
+    FEDERATED = "federated"
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,7 @@ class SlotHandle:
     search_fields: tuple = ()
     drive_fields: tuple = ()
     query_suffix: str = ""
+    query_strategy: str = ""
     elements: list = field(default_factory=list)
     children: list = field(default_factory=list)   # child SlotHandles
     style: dict = field(default_factory=dict)
@@ -124,11 +125,15 @@ class DesignSession:
                                        drive_fields,
                                        heading: str = "",
                                        max_results: int = 3,
-                                       query_suffix: str = "") -> SlotHandle:
+                                       query_suffix: str = "",
+                                       query_strategy: str = "") \
+            -> SlotHandle:
         """Drop a source onto a result layout as supplemental content.
 
         ``drive_fields`` selects "which fields from the first data source
-        to use when querying that secondary data" (§II-A).
+        to use when querying that secondary data" (§II-A);
+        ``query_strategy`` optionally picks a query-generator phrasing
+        (keyword/fielded/entity) for the derived query.
         """
         self._registry.get(source_id)  # existence check
         parent_source = self._registry.get(parent.source_id)
@@ -150,6 +155,7 @@ class DesignSession:
             max_results=max_results,
             drive_fields=tuple(drive_fields),
             query_suffix=query_suffix,
+            query_strategy=query_strategy,
         )
         parent.children.append(handle)
         return handle
@@ -339,6 +345,7 @@ class DesignSession:
             search_fields=handle.search_fields,
             drive_fields=handle.drive_fields,
             query_suffix=handle.query_suffix,
+            query_strategy=handle.query_strategy,
         )
 
     def _slot_of(self, handle: SlotHandle) -> SourceSlot:
@@ -473,6 +480,7 @@ class Designer:
             search_fields=binding.search_fields,
             drive_fields=binding.drive_fields,
             query_suffix=binding.query_suffix,
+            query_strategy=binding.query_strategy,
             elements=list(slot.result_layout.elements),
             style=dict(slot.style),
         )

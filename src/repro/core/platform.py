@@ -210,21 +210,78 @@ class Symphony:
                 self.engine, self.controlplane,
                 telemetry=self.telemetry, policy=policy,
             )
+        # Opt-in federation: built lazily by enable_federation().
+        self.federation = None
         self._designers: dict[str, DesignerAccount] = {}
 
     def _on_generation_bump(self, key: str, generation: int) -> None:
-        """Stale-cache fix: when a tenant table is re-ingested, drop the
-        runtime's per-source cache entries for every source over it."""
-        if not key.startswith("tenant:"):
-            return
+        """Stale-cache fix: when a backend's data changes, drop the
+        runtime's per-source cache entries for every source over it —
+        tenant tables on re-ingest, federated sources when any backend
+        they touch moves (corpus, topology, or a federated table)."""
         for source_id in self.sources.ids():
             source = self.sources.get(source_id)
+            generation_keys = getattr(source, "generation_keys", None)
+            if callable(generation_keys):
+                if key in generation_keys():
+                    self.runtime.cache.invalidate_source(source_id)
+                continue
+            if not key.startswith("tenant:"):
+                continue
             table = getattr(source, "table", None)
             tenant_id = getattr(source, "tenant_id", None)
             if table is None or tenant_id is None:
                 continue
             if table_key(tenant_id, table.name) == key:
                 self.runtime.cache.invalidate_source(source_id)
+
+    # -- federation (ROADMAP item 4) --------------------------------------------
+
+    def enable_federation(self, policy=None):
+        """Build the federation layer: a backend registry seeded with
+        this platform's own engine (backend id ``"local"``) plus a
+        scatter-gather executor sharing the platform clock, telemetry,
+        and resilience retry policy. Idempotent; returns the executor.
+        """
+        if self.federation is None:
+            from repro.federation import (
+                BackendRegistry,
+                EngineBackend,
+                FederationExecutor,
+                FederationPolicy,
+                QueryGeneratorLab,
+            )
+            if policy is None:
+                policy = (
+                    FederationPolicy(retry=self.resilience.retry)
+                    if self.resilience is not None else FederationPolicy()
+                )
+            registry = BackendRegistry()
+            registry.add(EngineBackend("local", self.engine))
+            self.federation = FederationExecutor(
+                registry,
+                clock=self.clock,
+                telemetry=self.telemetry,
+                policy=policy,
+                lab=QueryGeneratorLab(),
+            )
+        return self.federation
+
+    def add_federated_source(self, name: str, backend_ids=(),
+                             fusion: str = "",
+                             query_strategy: str = ""):
+        """Register a federated meta-search as a drag-onto-app source."""
+        from repro.federation import FederatedSearchSource
+        executor = self.enable_federation()
+        source = FederatedSearchSource(
+            source_id=self.ids.next_id("source"),
+            name=name,
+            executor=executor,
+            backend_ids=tuple(backend_ids),
+            fusion=fusion,
+            query_strategy=query_strategy,
+        )
+        return self.sources.add(source)
 
     # -- accounts ------------------------------------------------------------
 

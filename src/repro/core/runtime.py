@@ -701,12 +701,25 @@ class SymphonyRuntime:
     def _derive_query(binding, item, with_suffix: bool = True) -> str:
         """Build the supplemental query from the configured drive fields."""
         parts = []
+        raw_values = []
         for field_name in binding.drive_fields:
             value = item.get(field_name)
             if value:
+                raw_values.append(value)
                 parts.append(f'"{value}"' if " " in value else value)
         if not parts:
             return ""
+        if binding.query_strategy:
+            # Lazy import: bindings without a strategy (the default)
+            # never pay for loading the federation lab.
+            from repro.federation.querygen import get_generator
+            suffix_terms = tuple(binding.query_suffix.split()) \
+                if with_suffix and binding.query_suffix else ()
+            return get_generator(binding.query_strategy).generate(
+                " ".join(raw_values),
+                context={"entity": raw_values[0],
+                         "context_terms": suffix_terms},
+            )
         query = " ".join(parts)
         if with_suffix and binding.query_suffix:
             query = f"{query} {binding.query_suffix}"

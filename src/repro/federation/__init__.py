@@ -1,0 +1,75 @@
+"""repro.federation — federated meta-search with rank fusion.
+
+The federation layer answers ROADMAP item 4: one query fanned across
+heterogeneous backends — the local (clustered) engine, the Table I
+baseline platforms through their own facades, per-vertical indices, any
+core data source — with the results normalized into one schema,
+URL-deduplicated, and rank-fused (RRF / CombSUM / CombMNZ). Fan-out
+runs under the resilience layer's deadlines and retries, degrading to
+partial fusion when a backend fails. The query-generator lab
+(:mod:`repro.federation.querygen`) phrases the query per backend —
+keyword, fielded, entity-expanded — and keeps per-strategy
+precision/cost ledgers, after Endrullis et al.'s generator evaluation.
+"""
+
+from repro.federation.executor import (
+    BackendOutcome,
+    FederationExecutor,
+    FederationPolicy,
+    FederationResult,
+)
+from repro.federation.fusion import (
+    FUSION_METHODS,
+    FederatedItem,
+    FusedItem,
+    comb_mnz,
+    comb_sum,
+    fuse,
+    reciprocal_rank_fusion,
+)
+from repro.federation.querygen import (
+    STRATEGY_NAMES,
+    EntityExpandedGenerator,
+    FieldedGenerator,
+    KeywordGenerator,
+    QueryGenerator,
+    QueryGeneratorLab,
+    StrategyStats,
+    get_generator,
+)
+from repro.federation.registry import (
+    Backend,
+    BackendRegistry,
+    EngineBackend,
+    SourceBackend,
+    baseline_backend,
+)
+from repro.federation.source import FederatedSearchSource
+
+__all__ = [
+    "FUSION_METHODS",
+    "STRATEGY_NAMES",
+    "Backend",
+    "BackendOutcome",
+    "BackendRegistry",
+    "EngineBackend",
+    "EntityExpandedGenerator",
+    "FederatedItem",
+    "FederatedSearchSource",
+    "FederationExecutor",
+    "FederationPolicy",
+    "FederationResult",
+    "FieldedGenerator",
+    "FusedItem",
+    "KeywordGenerator",
+    "QueryGenerator",
+    "QueryGeneratorLab",
+    "SourceBackend",
+    "StrategyStats",
+    "baseline_backend",
+    "comb_mnz",
+    "comb_sum",
+    "fuse",
+    "get_generator",
+    "reciprocal_rank_fusion",
+]

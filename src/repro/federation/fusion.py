@@ -1,0 +1,205 @@
+"""Rank fusion: merge per-backend rankings into one list.
+
+Three classic unsupervised fusion methods over URL-deduplicated,
+normalized result lists:
+
+* **RRF** (reciprocal-rank fusion) — ``score(d) = Σ 1/(k + rank_i(d))``
+  over every backend list containing ``d``; rank-based, so it needs no
+  score calibration across heterogeneous backends and is the default.
+* **CombSUM** — sum of per-list min-max-normalized scores.
+* **CombMNZ** — CombSUM multiplied by the number of lists containing the
+  document, rewarding cross-backend agreement.
+
+All three are deterministic: backends are visited in sorted-id order,
+duplicate URLs keep the best-ranked copy (ties broken by backend id),
+and the fused ordering breaks score ties by URL. With a single backend
+registered, RRF reproduces that backend's ordering exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FUSION_METHODS",
+    "FederatedItem",
+    "FusedItem",
+    "fuse",
+    "reciprocal_rank_fusion",
+    "comb_sum",
+    "comb_mnz",
+]
+
+FUSION_METHODS = ("rrf", "combsum", "combmnz")
+
+#: Standard RRF smoothing constant (Cormack et al.).
+DEFAULT_RRF_K = 60
+
+
+@dataclass(frozen=True)
+class FederatedItem:
+    """One backend result in the common federation schema."""
+
+    url: str
+    title: str
+    snippet: str = ""
+    site: str = ""
+    score: float = 0.0          # backend-native score, uncalibrated
+    backend_id: str = ""
+    rank: int = 1               # 1-based rank within its backend list
+    fields: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FusedItem:
+    """One fused result: the best-ranked copy plus fusion metadata."""
+
+    url: str
+    title: str
+    snippet: str
+    site: str
+    fused_score: float
+    backends: tuple            # backend ids that returned this URL
+    best: FederatedItem        # the best-ranked copy kept by dedup
+    fields: dict = field(default_factory=dict)
+
+
+def normalize_item(backend_id: str, raw, rank: int) -> FederatedItem:
+    """Coerce one backend-native result into the common schema.
+
+    Accepts the engine's ``SearchResult``, a core ``SourceItem``, a
+    plain mapping, or any object exposing ``url``/``title`` attributes.
+    """
+    if isinstance(raw, dict):
+        get = raw.get
+        url = str(get("url", "") or get("link", "") or get("id", ""))
+        title = str(get("title", "") or get("headline", "") or url)
+        return FederatedItem(
+            url=url, title=title,
+            snippet=str(get("snippet", "") or get("description", "")),
+            site=str(get("site", "")),
+            score=float(get("score", 0.0) or 0.0),
+            backend_id=backend_id, rank=rank,
+            fields={k: v for k, v in raw.items()
+                    if k not in ("url", "title", "snippet", "site",
+                                 "score")},
+        )
+    url = str(getattr(raw, "url", "") or getattr(raw, "item_id", ""))
+    return FederatedItem(
+        url=url,
+        title=str(getattr(raw, "title", "") or url),
+        snippet=str(getattr(raw, "snippet", "")),
+        site=str(getattr(raw, "site", "")
+                 or getattr(raw, "fields", {}).get("site", "")),
+        score=float(getattr(raw, "score", 0.0) or 0.0),
+        backend_id=backend_id,
+        rank=rank,
+        fields=dict(getattr(raw, "fields", {}) or {}),
+    )
+
+
+def _dedup(items) -> list:
+    """Within one backend list, keep the best-ranked copy per URL."""
+    seen: dict[str, FederatedItem] = {}
+    for item in items:
+        kept = seen.get(item.url)
+        if kept is None or item.rank < kept.rank:
+            seen[item.url] = item
+    return sorted(seen.values(), key=lambda i: i.rank)
+
+
+def _minmax(values) -> list:
+    """Min-max normalize to [0, 1]; a constant list maps to all-1.0."""
+    if not values:
+        return []
+    low, high = min(values), max(values)
+    if high <= low:
+        return [1.0] * len(values)
+    return [(v - low) / (high - low) for v in values]
+
+
+def _by_backend(lists_by_backend: dict) -> list:
+    """Deduplicated lists in sorted-backend-id order (the determinism
+    anchor: fusion must not depend on dict insertion order)."""
+    return [(backend_id, _dedup(lists_by_backend[backend_id]))
+            for backend_id in sorted(lists_by_backend)]
+
+
+def reciprocal_rank_fusion(lists_by_backend: dict,
+                           k: int = DEFAULT_RRF_K) -> dict:
+    """URL -> RRF score over every backend list containing it."""
+    scores: dict[str, float] = {}
+    for __, items in _by_backend(lists_by_backend):
+        for item in items:
+            scores[item.url] = scores.get(item.url, 0.0) \
+                + 1.0 / (k + item.rank)
+    return scores
+
+
+def comb_sum(lists_by_backend: dict) -> dict:
+    """URL -> sum of per-list min-max-normalized scores."""
+    scores: dict[str, float] = {}
+    for __, items in _by_backend(lists_by_backend):
+        normalized = _minmax([item.score for item in items])
+        for item, value in zip(items, normalized):
+            scores[item.url] = scores.get(item.url, 0.0) + value
+    return scores
+
+
+def comb_mnz(lists_by_backend: dict) -> dict:
+    """CombSUM boosted by the number of lists containing the URL."""
+    sums = comb_sum(lists_by_backend)
+    counts: dict[str, int] = {}
+    for __, items in _by_backend(lists_by_backend):
+        for item in items:
+            counts[item.url] = counts.get(item.url, 0) + 1
+    return {url: value * counts[url] for url, value in sums.items()}
+
+
+def fuse(lists_by_backend: dict, method: str = "rrf",
+         rrf_k: int = DEFAULT_RRF_K) -> list:
+    """Fuse per-backend :class:`FederatedItem` lists into one ranking.
+
+    Returns :class:`FusedItem` objects ordered by fused score descending
+    with URL as the deterministic tie-break. Cross-backend duplicates
+    keep the copy with the best (lowest) rank, ties broken by backend id.
+    """
+    if method == "rrf":
+        scores = reciprocal_rank_fusion(lists_by_backend, k=rrf_k)
+    elif method == "combsum":
+        scores = comb_sum(lists_by_backend)
+    elif method == "combmnz":
+        scores = comb_mnz(lists_by_backend)
+    else:
+        raise ConfigurationError(
+            f"unknown fusion method {method!r}; "
+            f"expected one of {FUSION_METHODS}"
+        )
+
+    best_copy: dict[str, FederatedItem] = {}
+    backends: dict[str, list] = {}
+    for backend_id, items in _by_backend(lists_by_backend):
+        for item in items:
+            backends.setdefault(item.url, []).append(backend_id)
+            kept = best_copy.get(item.url)
+            if kept is None or (item.rank, item.backend_id) \
+                    < (kept.rank, kept.backend_id):
+                best_copy[item.url] = item
+
+    fused = [
+        FusedItem(
+            url=url,
+            title=best_copy[url].title,
+            snippet=best_copy[url].snippet,
+            site=best_copy[url].site,
+            fused_score=round(score, 9),
+            backends=tuple(backends[url]),
+            best=best_copy[url],
+            fields=dict(best_copy[url].fields),
+        )
+        for url, score in scores.items()
+    ]
+    fused.sort(key=lambda item: (-item.fused_score, item.url))
+    return fused

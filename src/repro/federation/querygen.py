@@ -1,0 +1,220 @@
+"""Query-generator lab: pluggable per-backend query phrasing.
+
+Endrullis et al. (PAPERS.md) measure entity-search query generators and
+find that *how* a query is phrased — plain keywords, fielded predicates,
+entity-expanded phrases — changes both precision and cost per covered
+entity. This module makes that a strategy interface:
+
+* :class:`KeywordGenerator` — analyzed terms, lowest cost, broadest.
+* :class:`FieldedGenerator` — ``field:token`` predicates when the
+  backend's :class:`~repro.core.capability.BackendDescriptor` advertises
+  ``supports_fielded``; quoted-phrase fallback otherwise.
+* :class:`EntityExpandedGenerator` — anchor on the entity (the ``entity``
+  field where supported, a quoted phrase elsewhere) plus context terms.
+
+The :class:`FederationExecutor` uses a generator to rewrite the query per
+backend; :class:`QueryGeneratorLab` keeps per-strategy precision/cost
+ledgers so strategies can be compared on a golden query set (the
+``repro federation`` CLI and bench X12 both drive it).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.searchengine.analysis import STOPWORDS, tokenize
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "QueryGenerator",
+    "KeywordGenerator",
+    "FieldedGenerator",
+    "EntityExpandedGenerator",
+    "get_generator",
+    "StrategyStats",
+    "QueryGeneratorLab",
+]
+
+STRATEGY_NAMES = ("keyword", "fielded", "entity")
+
+
+class QueryGenerator(ABC):
+    """Rewrites one query for one capability-described backend."""
+
+    name = "generator"
+
+    @abstractmethod
+    def generate(self, text: str, descriptor=None,
+                 context: dict | None = None) -> str:
+        """Return the backend-specific phrasing of ``text``.
+
+        ``descriptor`` is the target backend's ``BackendDescriptor`` (or
+        ``None`` for capability-blind rewriting); ``context`` may carry
+        an ``entity`` string and ``context_terms`` for expansion.
+        """
+
+
+class KeywordGenerator(QueryGenerator):
+    """Plain analyzed keywords — the baseline strategy."""
+
+    name = "keyword"
+
+    def generate(self, text: str, descriptor=None,
+                 context: dict | None = None) -> str:
+        tokens = tokenize(text)
+        return " ".join(tokens) if tokens else text
+
+
+class FieldedGenerator(QueryGenerator):
+    """``field:token`` predicates targeting one document field.
+
+    The engine's query language rejects quoted filter values, so each
+    analyzed token becomes its own predicate (``title:halo
+    title:odyssey`` ANDs the postings). Backends whose descriptor lacks
+    ``supports_fielded`` get a quoted-phrase fallback instead of a query
+    their language would reject.
+    """
+
+    name = "fielded"
+
+    def __init__(self, field_name: str = "title") -> None:
+        self.field_name = field_name
+
+    def generate(self, text: str, descriptor=None,
+                 context: dict | None = None) -> str:
+        tokens = [t for t in tokenize(text) if t not in STOPWORDS] \
+            or tokenize(text)
+        if not tokens:
+            return text
+        if descriptor is not None and not descriptor.supports_fielded:
+            return f'"{" ".join(tokens)}"'
+        return " ".join(f"{self.field_name}:{token}" for token in tokens)
+
+
+class EntityExpandedGenerator(QueryGenerator):
+    """Entity anchor plus context terms (Endrullis' expanded queries).
+
+    The entity comes from ``context["entity"]`` (falling back to the
+    query text); ``context["context_terms"]`` adds discriminating terms.
+    Backends advertising ``supports_entity`` get ``entity:token``
+    predicates against their entity field; others get the entity as a
+    quoted phrase.
+    """
+
+    name = "entity"
+
+    def generate(self, text: str, descriptor=None,
+                 context: dict | None = None) -> str:
+        context = context or {}
+        entity = str(context.get("entity") or text)
+        extra = tuple(context.get("context_terms", ()))
+        entity_tokens = tokenize(entity)
+        if not entity_tokens:
+            return text
+        if descriptor is not None and descriptor.supports_entity:
+            anchor = " ".join(f"entity:{token}"
+                              for token in entity_tokens)
+        elif len(entity_tokens) > 1:
+            anchor = f'"{" ".join(entity_tokens)}"'
+        else:
+            anchor = entity_tokens[0]
+        terms = " ".join(t for t in extra if t)
+        return f"{anchor} {terms}".strip()
+
+
+_GENERATORS = {
+    "keyword": KeywordGenerator,
+    "fielded": FieldedGenerator,
+    "entity": EntityExpandedGenerator,
+}
+
+
+def get_generator(name: str) -> QueryGenerator:
+    """Instantiate a strategy by name (``keyword``/``fielded``/``entity``)."""
+    try:
+        return _GENERATORS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown query-generator strategy {name!r}; "
+            f"expected one of {STRATEGY_NAMES}"
+        ) from None
+
+
+@dataclass
+class StrategyStats:
+    """Per-strategy precision/cost ledger."""
+
+    strategy: str
+    queries: int = 0
+    cost: float = 0.0
+    retrieved: int = 0
+    relevant_retrieved: int = 0
+
+    @property
+    def precision(self) -> float:
+        if self.retrieved == 0:
+            return 0.0
+        return self.relevant_retrieved / self.retrieved
+
+    @property
+    def cost_per_relevant(self) -> float:
+        """Endrullis' efficiency measure: spend per relevant result."""
+        if self.relevant_retrieved == 0:
+            return float("inf") if self.cost else 0.0
+        return self.cost / self.relevant_retrieved
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "queries": self.queries,
+            "cost": round(self.cost, 3),
+            "retrieved": self.retrieved,
+            "relevant_retrieved": self.relevant_retrieved,
+            "precision": round(self.precision, 4),
+            "cost_per_relevant": (
+                round(self.cost_per_relevant, 3)
+                if self.relevant_retrieved or not self.cost
+                else float("inf")
+            ),
+        }
+
+
+@dataclass
+class QueryGeneratorLab:
+    """Accounting across strategies: who found what, at what cost."""
+
+    stats: dict = field(default_factory=dict)
+
+    def _stats(self, strategy: str) -> StrategyStats:
+        if strategy not in self.stats:
+            self.stats[strategy] = StrategyStats(strategy)
+        return self.stats[strategy]
+
+    def charge(self, strategy: str, cost: float) -> None:
+        """Record one backend call issued under ``strategy``."""
+        entry = self._stats(strategy)
+        entry.queries += 1
+        entry.cost += cost
+
+    def account(self, strategy: str, retrieved_urls,
+                relevant_urls) -> None:
+        """Credit retrieved results against the relevance judgments."""
+        entry = self._stats(strategy)
+        retrieved = list(retrieved_urls)
+        relevant = set(relevant_urls)
+        entry.retrieved += len(retrieved)
+        entry.relevant_retrieved += sum(
+            1 for url in retrieved if url in relevant
+        )
+
+    def report(self) -> list:
+        """Per-strategy dicts, best precision first."""
+        return [
+            self.stats[name].to_dict()
+            for name in sorted(
+                self.stats,
+                key=lambda n: (-self.stats[n].precision, n),
+            )
+        ]

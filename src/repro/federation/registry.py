@@ -1,0 +1,260 @@
+"""Backend registry: capability-described search backends for federation.
+
+A federation *backend* is anything that answers a text query with a
+ranked list — the local (possibly clustered) engine, one of the five
+Table I baseline platforms via its own search facade, a per-vertical
+index, or any core :class:`~repro.core.datasources.DataSource`. Each
+backend carries a :class:`~repro.core.capability.BackendDescriptor`
+(baselines derive theirs from their Table I profile, one source of
+truth) so the executor can route by vertical, pick a query-generator
+phrasing the backend's language accepts, budget its cost, and stamp
+cached results with every generation key the backend depends on.
+"""
+
+from __future__ import annotations
+
+from repro.core.capability import BackendDescriptor
+from repro.core.datasources import SourceQuery
+from repro.errors import ConfigurationError, DuplicateError, NotFoundError
+from repro.federation.fusion import FederatedItem, normalize_item
+from repro.gateway.generations import CORPUS_KEY, TOPOLOGY_KEY, table_key
+from repro.searchengine.engine import SearchOptions
+
+__all__ = [
+    "Backend",
+    "EngineBackend",
+    "SourceBackend",
+    "baseline_backend",
+    "BackendRegistry",
+]
+
+
+class Backend:
+    """One federated search backend: a descriptor plus ``search``."""
+
+    def __init__(self, descriptor: BackendDescriptor) -> None:
+        self.descriptor = descriptor
+
+    @property
+    def backend_id(self) -> str:
+        return self.descriptor.backend_id
+
+    def search(self, text: str, count: int = 10, deadline=None,
+               context: dict | None = None) -> list:
+        """Ranked :class:`FederatedItem` list for ``text``."""
+        raise NotImplementedError
+
+    def _normalize(self, raw_results) -> list:
+        backend_id = self.backend_id
+        return [
+            normalize_item(backend_id, raw, rank)
+            for rank, raw in enumerate(raw_results, start=1)
+        ]
+
+
+class EngineBackend(Backend):
+    """The local search-engine substrate (single-node or clustered)."""
+
+    def __init__(self, backend_id: str, engine, vertical: str = "web",
+                 sites: tuple = (), augment_terms: tuple = ()) -> None:
+        clustered = bool(getattr(engine, "accepts_deadline", False))
+        keys = (CORPUS_KEY, TOPOLOGY_KEY) if clustered else (CORPUS_KEY,)
+        super().__init__(BackendDescriptor(
+            backend_id=backend_id,
+            system="Symphony",
+            search_api="local engine"
+                       + (" (clustered)" if clustered else ""),
+            verticals=(vertical,),
+            supports_sites=True,
+            # The local query language takes field:value predicates and
+            # indexes the entity field on every corpus document.
+            supports_fielded=True,
+            supports_entity=True,
+            cost_per_query=1.0,
+            generation_keys=keys,
+        ))
+        self._engine = engine
+        self._clustered = clustered
+        self.vertical = vertical
+        self.sites = tuple(sites)
+        self.augment_terms = tuple(augment_terms)
+
+    def search(self, text: str, count: int = 10, deadline=None,
+               context: dict | None = None) -> list:
+        options = SearchOptions(count=count, sites=self.sites,
+                                augment_terms=self.augment_terms)
+        kwargs = {}
+        if deadline is not None and self._clustered:
+            kwargs["deadline"] = deadline
+        response = self._engine.search(self.vertical, text, options,
+                                       **kwargs)
+        return self._normalize(response.results)
+
+
+class SourceBackend(Backend):
+    """Any core :class:`DataSource` exposed as a federation backend.
+
+    Generation keys are inferred where the source shape gives them away
+    (a proprietary table depends on its own ``table_key``; an engine
+    vertical on the corpus) and can be overridden explicitly.
+    """
+
+    def __init__(self, source, backend_id: str = "",
+                 generation_keys: tuple | None = None,
+                 cost_per_query: float = 1.0) -> None:
+        keys = tuple(generation_keys) if generation_keys is not None \
+            else self._infer_keys(source)
+        super().__init__(BackendDescriptor(
+            backend_id=backend_id or source.source_id,
+            system="Symphony",
+            search_api=f"source:{source.kind.value}",
+            verticals=(source.kind.value,),
+            supports_sites=False,
+            cost_per_query=cost_per_query,
+            generation_keys=keys,
+        ))
+        self._source = source
+
+    @staticmethod
+    def _infer_keys(source) -> tuple:
+        table = getattr(source, "table", None)
+        if table is not None:
+            tenant_id = getattr(source, "tenant_id", "")
+            return (table_key(tenant_id, table.name),)
+        engine = getattr(source, "_engine", None)
+        if engine is not None:
+            if getattr(engine, "accepts_deadline", False):
+                return (CORPUS_KEY, TOPOLOGY_KEY)
+            return (CORPUS_KEY,)
+        return ()
+
+    def search(self, text: str, count: int = 10, deadline=None,
+               context: dict | None = None) -> list:
+        query_context = dict(context or {})
+        if deadline is not None:
+            query_context["deadline"] = deadline
+        result = self._source.search(SourceQuery(
+            text=text, count=count, context=query_context,
+        ))
+        return self._normalize(result.items)
+
+
+class _BaselineBackend(Backend):
+    """A Table I baseline platform behind its own search facade."""
+
+    def __init__(self, descriptor: BackendDescriptor, search_fn) -> None:
+        super().__init__(descriptor)
+        self._search_fn = search_fn
+
+    def search(self, text: str, count: int = 10, deadline=None,
+               context: dict | None = None) -> list:
+        # External platforms accept no deadline; the executor's
+        # per-backend budget still bounds the call from outside.
+        return self._normalize(self._search_fn(text, count))
+
+
+def baseline_backend(platform, sites: tuple = (),
+                     backend_id: str = "") -> Backend:
+    """Adapt one :class:`BaselinePlatform` through its public facade.
+
+    Each platform is driven exactly the way its real counterpart was:
+    Rollyo through a searchroll, Eurekster through a swicki, Google
+    Custom through a created engine, Y! BOSS through the raw API, and
+    Google Base through its result page (web results only — Base item
+    oneboxes are uploads, not the web ranking).
+    """
+    descriptor = platform.capability_descriptor()
+    if backend_id:
+        descriptor = BackendDescriptor(**{
+            **descriptor.to_dict(),
+            "backend_id": backend_id,
+            "verticals": tuple(descriptor.verticals),
+            "generation_keys": tuple(descriptor.generation_keys),
+        })
+    handle = f"federation-{descriptor.backend_id}"
+    sites = tuple(sites)
+
+    if hasattr(platform, "create_searchroll"):
+        roll = platform.create_searchroll(handle, sites)
+        search_fn = lambda text, count: roll.search(text, count).results
+    elif hasattr(platform, "create_swicki"):
+        swicki = platform.create_swicki(handle, sites)
+        search_fn = lambda text, count: _result_list(
+            swicki.search(text, count)
+        )
+    elif hasattr(platform, "create_engine"):
+        engine = platform.create_engine(handle, sites=sites)
+        search_fn = lambda text, count: _result_list(
+            engine.search(text, count)
+        )
+    elif hasattr(platform, "api_search"):
+        search_fn = lambda text, count: platform.api_search(
+            text, sites=sites, count=count
+        ).results
+    elif hasattr(platform, "search"):
+        search_fn = lambda text, count: _result_list(
+            platform.search(text, count)
+        )
+    else:
+        raise ConfigurationError(
+            f"{platform.system_name} exposes no search facade"
+        )
+    return _BaselineBackend(descriptor, search_fn)
+
+
+def _result_list(response) -> list:
+    """Unwrap the facade's return shape down to a ranked list."""
+    if isinstance(response, dict):
+        return list(response.get("web_results", ()))
+    return list(getattr(response, "results", response))
+
+
+class BackendRegistry:
+    """All federation backends known to one executor, by id."""
+
+    def __init__(self) -> None:
+        self._backends: dict[str, Backend] = {}
+
+    def add(self, backend: Backend) -> Backend:
+        if backend.backend_id in self._backends:
+            raise DuplicateError(
+                f"backend id already registered: {backend.backend_id}"
+            )
+        self._backends[backend.backend_id] = backend
+        return backend
+
+    def get(self, backend_id: str) -> Backend:
+        try:
+            return self._backends[backend_id]
+        except KeyError:
+            raise NotFoundError(
+                f"no federation backend {backend_id!r}"
+            ) from None
+
+    def remove(self, backend_id: str) -> None:
+        if backend_id not in self._backends:
+            raise NotFoundError(f"no federation backend {backend_id!r}")
+        del self._backends[backend_id]
+
+    def ids(self) -> list:
+        return sorted(self._backends)
+
+    def backends(self, ids=None) -> list:
+        """Backends in sorted-id order (the fusion determinism anchor)."""
+        if ids is None:
+            return [self._backends[i] for i in self.ids()]
+        return [self.get(i) for i in sorted(ids)]
+
+    def descriptors(self) -> list:
+        return [b.descriptor for b in self.backends()]
+
+    def select(self, vertical: str) -> list:
+        return [b for b in self.backends()
+                if vertical in b.descriptor.verticals]
+
+    def generation_keys(self, ids=None) -> tuple:
+        """Sorted union of generation keys across ``ids`` (default all)."""
+        keys = set()
+        for backend in self.backends(ids):
+            keys.update(backend.descriptor.generation_keys)
+        return tuple(sorted(keys))

@@ -318,11 +318,19 @@ class Gateway:
         depends on: one per proprietary table, the shared corpus plus
         the cluster's shard layout for web-backed sources (the control
         plane bumps the topology generation at every reshard cutover),
-        and a per-source fallback otherwise."""
+        and a per-source fallback otherwise. Sources that know their own
+        dependencies — a federated source spans *every* backend it can
+        touch — publish them via a ``generation_keys`` callable, which
+        takes precedence so re-ingest on any one backend invalidates
+        the cached fusion mid-TTL."""
         app = self._apps.get(app_id)
         keys = set()
         for binding in app.bindings:
             source = self._sources.get(binding.source_id)
+            generation_keys = getattr(source, "generation_keys", None)
+            if callable(generation_keys):
+                keys.update(generation_keys())
+                continue
             table = getattr(source, "table", None)
             tenant_id = getattr(source, "tenant_id", None)
             engine = (getattr(source, "engine", None)

@@ -602,3 +602,58 @@ class TestPrimitivesExtraction:
         assert cache.invalidate_source("src-1") == 2
         assert cache.get(("src-2", "halo", 3, 0), 0) == "c"
         assert cache.stats()["invalidations"] == 2
+
+
+class TestFederatedSourceInvalidation:
+    """Regression: the gateway cache must stamp EVERY backend a
+    federated source touches, so re-ingesting any one of them
+    invalidates cached fused responses mid-TTL."""
+
+    def test_reingest_of_one_backend_invalidates_cached_fusion(
+            self, gateway_symphony):
+        from repro.federation import SourceBackend
+        sym = gateway_symphony
+        account = sym.register_designer("Ann")
+        games = sym.web.entities["video_games"][:4]
+        sym.upload_http(account, "inventory.csv",
+                        make_inventory_csv(games), "inventory",
+                        content_type="text/csv")
+        inventory = sym.add_proprietary_source(
+            account, "inventory",
+            search_fields=("title", "producer", "description"),
+        )
+        executor = sym.enable_federation()
+        executor.registry.add(
+            SourceBackend(inventory, backend_id="inventory")
+        )
+        fed = sym.add_federated_source(
+            "meta search", backend_ids=("inventory", "local")
+        )
+        session = sym.designer().new_application(
+            "Meta", account.tenant.tenant_id
+        )
+        slot = session.drag_source_onto_app(
+            fed.source_id, heading="Everywhere", max_results=5
+        )
+        session.add_text(slot, "title")
+        app_id = sym.host(session)
+
+        # The cache key derivation sees through the federated source
+        # to the tenant table it queries.
+        keys = sym.gateway._generation_keys(app_id)
+        assert any(key.endswith(":inventory") for key in keys)
+
+        first = sym.query_via_gateway(app_id, games[0])
+        again = sym.query_via_gateway(app_id, games[0])
+        assert again.html == first.html
+        assert sym.gateway.cache.stats()["hits"] == 1
+
+        # Mid-TTL re-ingest of just ONE backend (the table) must
+        # evict the cached fused response.
+        fresh = make_inventory_csv(games).replace(b"Studio",
+                                                  b"Reissue")
+        sym.upload_http(account, "inventory2.csv", fresh, "inventory",
+                        content_type="text/csv", key_field="title")
+        sym.query_via_gateway(app_id, games[0])
+        assert sym.gateway.cache.stats()["stale_invalidations"] == 1
+        assert sym.gateway.stats()["dispatched"] == 2
