@@ -1,0 +1,277 @@
+"""Experiment X13 — the SLO layer detects, attributes, and stays cheap.
+
+Three claims, one artifact:
+
+1. **Detection** — a chaos plan degrades one shard (every replica 500ms
+   slow); the fast-window burn-rate alert must fire within one fast
+   window of the fault starting, and ``explain()`` must attribute at
+   least half of the worst query's wall time to the faulted shard.
+2. **Retention** — the flight recorder keeps every breaching trace but
+   at most 5% of clean ones (tail sampling, not full retention).
+3. **Overhead** — the clean path (no breaches, no alerts) must stay
+   within a bounded wall-clock regression of a telemetry-only platform:
+   judging observations is a few histogram/window updates per query.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_slo.py``), recording the ``x13_slo``
+  artifact plus its machine-readable twin ``BENCH_slo.json``; or
+* standalone as a CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_slo.py --check 0.05
+
+  which exits non-zero when any claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+#: SLOConfig overrides for the chaos leg: windows tight enough that a
+#: 30-query storm both fills ``min_events`` and bounds the detection
+#: claim, thresholds matching examples/slo_burn_plan.json.
+SLO_PLAN = {
+    "latency_threshold_ms": 400.0,
+    "fast_window_ms": 60_000,
+    "slow_window_ms": 600_000,
+    "burn_threshold": 3.0,
+    "min_events": 6,
+}
+HOT_SHARD = 1
+
+
+def measure_detection() -> dict:
+    """Chaos leg: slow shard -> burn alert + attribution + retention."""
+    from repro.resilience.chaos import FaultPlan, run_chaos
+
+    plan = FaultPlan(
+        name="x13-slo",
+        seed=2028,
+        queries=30,
+        deadline_ms=1500.0,
+        grace_ms=900.0,
+        num_shards=2,
+        replicas_per_shard=2,
+        slow_shard=HOT_SHARD,
+        slow_shard_ms=500.0,
+        slo=dict(SLO_PLAN),
+    )
+    report = run_chaos(plan)
+    share = 0.0
+    attribution = report.slo_worst_attribution
+    if attribution.get("total_ms"):
+        share = sum(
+            ms for name, ms in attribution["contributions"]
+            if name.startswith(f"shard:{HOT_SHARD}")
+        ) / attribution["total_ms"]
+    recorder = report.slo_recorder
+    return {
+        "chaos_ok": report.ok,
+        "violations": list(report.violations),
+        "burn_alerts": report.slo_burn_alerts,
+        "detection_ms": report.slo_detection_ms,
+        "fast_window_ms": SLO_PLAN["fast_window_ms"],
+        "dominant": report.slo_dominant,
+        "faulted_shard_share": round(share, 4),
+        "breaching_seen": recorder.get("anomalous", 0),
+        "breaching_retained": report.slo_breaching_retained,
+        "clean_seen": recorder.get("clean_seen", 0),
+        "clean_retained": recorder.get("clean_retained", 0),
+    }
+
+
+def _time_queries(symphony, app_id, queries, out: list) -> None:
+    """Append per-cold-query wall times (ms) to ``out``."""
+    for query in queries:
+        symphony.runtime.cache.clear()
+        start = time.perf_counter()
+        symphony.query(app_id, query, session_id="x13")
+        out.append((time.perf_counter() - start) * 1000.0)
+
+
+def measure_overhead(web, rounds: int = 8, n_queries: int = 4) -> dict:
+    """Clean-path leg: telemetry-only vs telemetry + SLO judging.
+
+    The SLO thresholds are set far above any real latency so nothing
+    breaches — this isolates the per-query cost of *judging* (budget
+    windows, burn checks, tail-sampling bookkeeping) from the cost of
+    retaining evidence.
+    """
+    from benchmarks.conftest import build_gamerqueen
+    from repro.core.platform import Symphony
+    from repro.slo import SLOConfig
+
+    clean_config = SLOConfig(
+        latency_threshold_ms=1e9,
+        completeness_floor=0.0,
+        clean_sample_every=25,
+    )
+    platforms = {}
+    for label, slo in (("telemetry", None), ("slo", clean_config)):
+        symphony = Symphony(web=web, use_authority=False,
+                            telemetry=True, slo=slo)
+        app_id, games = build_gamerqueen(
+            symphony, designer_name=f"X13-{label}",
+            table_name=f"x13_{label}", n_supplemental=1,
+        )
+        platforms[label] = (symphony, app_id, games[:n_queries])
+
+    # Warm BOTH platforms before timing either, then interleave the
+    # measured rounds, so neither one-time costs nor slow clock drift
+    # (GC pressure, thermal state) land on only one platform.
+    timings: dict[str, list] = {label: [] for label in platforms}
+    for label, (symphony, app_id, queries) in platforms.items():
+        _time_queries(symphony, app_id, queries, out=[])
+    for __ in range(rounds):
+        for label, (symphony, app_id, queries) in platforms.items():
+            _time_queries(symphony, app_id, queries, timings[label])
+    results = {f"{label}_ms": statistics.median(values)
+               for label, values in timings.items()}
+    # Judge the overhead claim on the *minimum* wall time per platform:
+    # the SLO judging cost is deterministic per query so it shows up in
+    # the minimum too, while scheduler/GC noise only ever inflates a
+    # sample — min is the low-variance estimator of the true cost.
+    floor = {label: min(values) for label, values in timings.items()}
+    results["overhead"] = (
+        floor["slo"] / floor["telemetry"] - 1.0
+        if floor["telemetry"] > 0 else 0.0
+    )
+    slo_engine = platforms["slo"][0].slo
+    results["clean_alerts"] = len(slo_engine.alerts())
+    stats = slo_engine.recorder.stats.as_dict()
+    results["clean_path_retention"] = stats["clean_retention"]
+    return results
+
+
+def measure(web, rounds: int = 8) -> dict:
+    result = {"detection": measure_detection(),
+              "overhead": measure_overhead(web, rounds=rounds)}
+    result["verdicts"] = verdicts(result)
+    return result
+
+
+def verdicts(result: dict, threshold: float = 0.05) -> dict:
+    detection = result["detection"]
+    overhead = result["overhead"]
+    return {
+        "chaos_invariants": detection["chaos_ok"],
+        "alert_fired": detection["burn_alerts"] >= 1,
+        "detected_within_fast_window": (
+            0 < detection["detection_ms"]
+            <= detection["fast_window_ms"]
+        ),
+        "faulted_shard_dominates": (
+            detection["faulted_shard_share"] >= 0.5),
+        "breaching_traces_retained": (
+            detection["breaching_retained"]
+            == detection["breaching_seen"] > 0),
+        "clean_retention_bounded": (
+            detection["clean_retained"]
+            <= 0.05 * max(1, detection["clean_seen"])),
+        "no_clean_path_alerts": overhead["clean_alerts"] == 0,
+        "overhead_within_budget": overhead["overhead"] <= threshold,
+    }
+
+
+def format_artifact(result: dict, threshold: float) -> str:
+    detection = result["detection"]
+    overhead = result["overhead"]
+    checks = verdicts(result, threshold)
+    ok = all(checks.values())
+    lines = [
+        "X13 — SLO layer: burn-rate detection, attribution, overhead",
+        "",
+        "  detection (chaos: every replica of shard "
+        f"{HOT_SHARD} +500ms)",
+        f"    burn alerts fired    : {detection['burn_alerts']}",
+        f"    detection latency    : {detection['detection_ms']} sim ms"
+        f"  (fast window {detection['fast_window_ms']} ms)",
+        f"    dominant cause       : {detection['dominant']}",
+        f"    faulted-shard share  : "
+        f"{detection['faulted_shard_share'] * 100:.1f} %"
+        "  (>= 50 % required)",
+        f"    breaching retained   : {detection['breaching_retained']}"
+        f" of {detection['breaching_seen']}",
+        f"    clean retained       : {detection['clean_retained']}"
+        f" of {detection['clean_seen']}",
+        "",
+        "  clean-path overhead (telemetry-only vs telemetry + SLO)",
+        f"    telemetry median     : {overhead['telemetry_ms']:8.3f}"
+        " ms/query",
+        f"    telemetry+slo median : {overhead['slo_ms']:8.3f}"
+        " ms/query",
+        f"    overhead             : {overhead['overhead'] * 100:+8.1f}"
+        f" %   (threshold {threshold * 100:.0f} %)",
+        f"    clean-path alerts    : {overhead['clean_alerts']}",
+        "",
+    ]
+    for name, passed in checks.items():
+        lines.append(f"  [{'x' if passed else ' '}] {name}")
+    lines += [
+        "",
+        f"  {'PASS' if ok else 'FAIL'}: the judgment layer "
+        f"{'detects, attributes, and stays within budget' if ok else 'FAILED a claim above'}",
+    ]
+    return "\n".join(lines)
+
+
+def test_slo_bench(bench_web):
+    """Pytest entry point: record the artifact, enforce every claim."""
+    from benchmarks.conftest import record_artifact
+
+    threshold = 0.05
+    result = measure(bench_web, rounds=8)
+    record_artifact("x13_slo", format_artifact(result, threshold),
+                    data=result, json_name="BENCH_slo.json")
+    checks = verdicts(result, threshold)
+    assert all(checks.values()), checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SLO layer smoke check (X13)"
+    )
+    parser.add_argument("--check", type=float, default=0.05,
+                        help="max allowed clean-path overhead fraction "
+                             "(default 0.05)")
+    parser.add_argument("--rounds", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing benchmarks/artifacts/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    from repro.simweb.generator import WebGenerator, WebSpec
+
+    # A moderate web keeps the smoke check fast while still exercising
+    # the full pipeline under the SLO layer.
+    spec = WebSpec(seed=args.seed,
+                   topics=("video_games", "wine", "news"),
+                   extra_sites_per_topic=1, pages_per_site=8,
+                   images_per_site=3, videos_per_site=2,
+                   news_per_site=4)
+    web = WebGenerator(spec).build()
+    result = measure(web, rounds=args.rounds)
+    result["verdicts"] = verdicts(result, args.check)
+    text = format_artifact(result, args.check)
+    print(text)
+    if not args.no_artifact:
+        artifact_dir = repo_root / "benchmarks" / "artifacts"
+        artifact_dir.mkdir(exist_ok=True)
+        (artifact_dir / "x13_slo.txt").write_text(
+            text + "\n", encoding="utf-8")
+        (artifact_dir / "BENCH_slo.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    return 0 if all(result["verdicts"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

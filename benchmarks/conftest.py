@@ -9,6 +9,7 @@ tables alongside pytest-benchmark's timing tables.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -21,11 +22,23 @@ ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
 _ARTIFACTS: dict[str, str] = {}
 
 
-def record_artifact(name: str, text: str) -> None:
-    """Persist a regenerated paper artifact and queue it for the summary."""
+def record_artifact(name: str, text: str, data=None,
+                    json_name: str = "") -> None:
+    """Persist a regenerated paper artifact and queue it for the summary.
+
+    When ``data`` is given, a machine-readable JSON twin is written next
+    to the text artifact (as ``json_name`` or ``<name>.json``) so CI and
+    downstream tooling can consume the numbers without parsing prose.
+    """
     ARTIFACT_DIR.mkdir(exist_ok=True)
     (ARTIFACT_DIR / f"{name}.txt").write_text(text + "\n",
                                               encoding="utf-8")
+    if data is not None:
+        json_path = ARTIFACT_DIR / (json_name or f"{name}.json")
+        json_path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     _ARTIFACTS[name] = text
 
 

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli gateway --input t.jsonl  # report an export
     python -m repro.cli controlplane         # autoscale a hot shard
     python -m repro.cli controlplane --split 0   # live shard split
+    python -m repro.cli slo                  # burn a latency budget
+    python -m repro.cli slo --explain worst  # attribute the worst query
 """
 
 from __future__ import annotations
@@ -343,6 +345,59 @@ def _cmd_controlplane(args) -> int:
     return 0
 
 
+def _cmd_slo(args) -> int:
+    """Burn an error budget live: a clustered deployment with the SLO
+    layer on, one shard degraded mid-run, then the judgment report —
+    and optionally the per-query latency attribution."""
+    from repro.cluster import ClusterConfig
+    from repro.slo import SLOConfig
+
+    config = SLOConfig(
+        latency_threshold_ms=args.latency_threshold,
+        fast_window_ms=60_000,
+        slow_window_ms=600_000,
+        burn_threshold=3.0,
+        min_events=6,
+    )
+    symphony = _build_platform(
+        args.seed,
+        cluster=ClusterConfig(num_shards=args.shards,
+                              replicas_per_shard=2),
+        slo=config,     # implies telemetry
+        # The workload cycles a handful of titles; with the cache on,
+        # post-fault repeats would never reach the degraded shard.
+        cache_enabled=False,
+    )
+    app_id, games, __ = _build_demo_app(symphony)
+    engine = symphony.engine
+    print(f"cluster: {args.shards} shards x 2 replicas; "
+          f"shard {args.hot_shard} slow (+{args.spike_ms:.0f}ms) "
+          f"from query {args.fault_at} of {args.queries}")
+    for index in range(args.queries):
+        if index >= args.fault_at:
+            for replica in engine.groups[args.hot_shard].replicas:
+                replica.inject_latency(args.spike_ms, 4)
+        symphony.query(app_id, games[index % len(games)],
+                       session_id=f"cli-slo-{index}")
+    print()
+    print(symphony.slo_report())
+    if args.explain:
+        query_id = args.explain
+        if query_id == "worst":
+            worst = symphony.slo.worst_record()
+            if worst is None:
+                print("\nno breaching queries recorded")
+                return 1
+            query_id = worst.query_id
+        attribution = symphony.explain_query(query_id)
+        if attribution is None:
+            print(f"\nno spans retained for query {query_id!r}")
+            return 1
+        print()
+        print(attribution.render())
+    return 0
+
+
 def _gateway_request(app_id: str, query: str, round_no: int):
     from repro.core.runtime import QueryRequest
     return QueryRequest(app_id=app_id, query_text=query,
@@ -557,6 +612,28 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar=("SOURCE", "TARGET"),
                               help="instead: merge SOURCE into TARGET")
 
+    slo = sub.add_parser(
+        "slo",
+        help="burn an error budget against a degraded shard and "
+             "report budgets, alerts, and latency attribution",
+    )
+    slo.add_argument("--queries", type=int, default=20,
+                     help="queries to run (default 20)")
+    slo.add_argument("--shards", type=int, default=2,
+                     help="cluster shard count (default 2)")
+    slo.add_argument("--hot-shard", type=int, default=1,
+                     help="shard to degrade (default 1)")
+    slo.add_argument("--spike-ms", type=float, default=500.0,
+                     help="injected latency per read (default 500)")
+    slo.add_argument("--fault-at", type=int, default=5,
+                     help="query index the fault starts at (default 5)")
+    slo.add_argument("--latency-threshold", type=float, default=400.0,
+                     help="latency SLO threshold in ms (default 400)")
+    slo.add_argument("--explain", default="",
+                     metavar="QUERY_ID",
+                     help="also print latency attribution for this "
+                          "query id ('worst' picks the worst breach)")
+
     federation = sub.add_parser(
         "federation",
         help="compare rank-fusion methods and query-generator "
@@ -579,6 +656,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "gateway": _cmd_gateway,
     "controlplane": _cmd_controlplane,
+    "slo": _cmd_slo,
     "federation": _cmd_federation,
 }
 

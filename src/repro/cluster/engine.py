@@ -476,12 +476,24 @@ class ClusteredSearchEngine:
         # Gather: parallel shards cost max-over-shards, not the sum.
         # Each shard's cost is its ranking latency plus any replica
         # attempt latency (injected spikes, bounded by hedging).
-        elapsed = max(
-            (simulated_latency_ms(candidate_counts[sid])
-             + extra_latency[sid] for sid in candidate_counts),
-            default=simulated_latency_ms(0),
-        )
-        self.clock.advance(elapsed)
+        if candidate_counts:
+            costs = {
+                sid: (simulated_latency_ms(candidate_counts[sid])
+                      + extra_latency[sid])
+                for sid in candidate_counts
+            }
+            # The slowest shard gates the whole scatter-gather, so the
+            # wall the clock pays here is *its* cost — record it under a
+            # span naming that shard so latency attribution (repro.slo)
+            # can blame the right place. Deterministic tie-break on id.
+            slowest = min(costs, key=lambda sid: (-costs[sid], sid))
+            elapsed = costs[slowest]
+            with self._tracer.span(f"gather:shard-{slowest}") as gspan:
+                if gspan:
+                    gspan.set("cost_ms", round(elapsed, 3))
+                self.clock.advance(elapsed)
+        else:
+            self.clock.advance(simulated_latency_ms(0))
         if deadline is not None and deadline.expired:
             overrun = True
 

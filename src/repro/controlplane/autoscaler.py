@@ -82,11 +82,15 @@ class Autoscaler:
 
     def __init__(self, engine, lifecycle,
                  telemetry: Telemetry | None = None,
-                 policy: AutoscalerPolicy | None = None) -> None:
+                 policy: AutoscalerPolicy | None = None,
+                 slo=None) -> None:
         self.engine = engine
         self.lifecycle = lifecycle
         self.telemetry = telemetry or Telemetry.disabled()
         self.policy = policy or AutoscalerPolicy()
+        # Optional repro.slo engine: a firing burn-rate alert becomes an
+        # additional scale-up pressure on the hottest shard.
+        self.slo = slo
         self.tick_count = 0
         self.decisions: list[AutoscaleDecision] = []
         self._last_seen: dict[int, tuple] = {}   # shard -> (count, total)
@@ -123,6 +127,7 @@ class Autoscaler:
         self.tick_count += 1
         means = self.windowed_means()
         self._update_streaks(means)
+        self._note_slo_burn(means)
         if self.lifecycle.active:
             state = self.lifecycle.step()
             decision = AutoscaleDecision(
@@ -183,6 +188,28 @@ class Autoscaler:
                 if shard_id not in active:
                     del streaks[shard_id]
 
+    def _note_slo_burn(self, means: dict) -> None:
+        """Fold SLO burn into the hot streaks.
+
+        While any burn-rate alert is firing, error budget is draining
+        faster than the objective allows — platform-wide evidence that
+        the latency dead band is too forgiving for the current load.
+        Credit one extra hot round to the hottest shard of the window
+        (deterministic tie-break by shard id), so the escalation ladder
+        engages sooner without bypassing the persistence bar entirely.
+        """
+        if self.slo is None or not self.slo.burning():
+            return
+        candidates = [(mean, shard_id)
+                      for shard_id, mean in means.items()
+                      if mean is not None]
+        if not candidates:
+            return
+        hottest = min(candidates,
+                      key=lambda pair: (-pair[0], pair[1]))[1]
+        self._hot_rounds[hottest] = self._hot_rounds.get(hottest, 0) + 1
+        self._cold_rounds.pop(hottest, None)
+
     def _breached(self, streaks: dict, means: dict) -> list:
         """Shards past the persistence bar, worst offender first."""
         policy = self.policy
@@ -202,11 +229,17 @@ class Autoscaler:
                 continue
             if len(group.replicas) < policy.max_replicas:
                 self.lifecycle.add_replica(shard_id)
+                if mean > policy.latency_high_ms:
+                    reason = (f"mean {mean:.1f}ms > "
+                              f"{policy.latency_high_ms:.1f}ms")
+                else:
+                    # Streak earned (at least partly) by SLO burn
+                    # credits rather than the latency threshold alone.
+                    reason = (f"slo burn; hottest shard mean "
+                              f"{mean:.1f}ms")
                 return AutoscaleDecision(
                     tick=self.tick_count, action="add_replica",
-                    shard_id=shard_id,
-                    reason=f"mean {mean:.1f}ms > "
-                           f"{policy.latency_high_ms:.1f}ms",
+                    shard_id=shard_id, reason=reason,
                 )
             docs = self.engine.shard_doc_count(shard_id)
             if (docs >= policy.split_min_docs

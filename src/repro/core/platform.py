@@ -83,12 +83,20 @@ class Symphony:
                  telemetry: Telemetry | bool | None = None,
                  resilience=None,
                  gateway=None,
-                 controlplane=None) -> None:
+                 controlplane=None,
+                 slo=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
         # the allocation-free null instruments.
         if telemetry is True:
+            telemetry = Telemetry(clock=self.clock)
+        # The SLO judgment layer consumes spans/metrics/events, so
+        # enabling it implies telemetry even when not asked for.
+        if slo is True:
+            from repro.slo import SLOConfig
+            slo = SLOConfig()
+        if slo is not None and not (telemetry and telemetry.enabled):
             telemetry = Telemetry(clock=self.clock)
         self.telemetry = telemetry or Telemetry.disabled()
         # Opt-in resilience: pass a ResilienceConfig or True for the
@@ -98,6 +106,14 @@ class Symphony:
             from repro.resilience import ResilienceConfig
             resilience = ResilienceConfig()
         self.resilience = resilience or None
+        # Opt-in SLO layer: error budgets, multi-window burn-rate
+        # alerting, tail-sampled flight recorder, per-query explain.
+        if slo is not None:
+            from repro.slo import SLOEngine
+            self.slo = SLOEngine(self.telemetry, config=slo)
+        else:
+            from repro.slo import NULL_SLO
+            self.slo = NULL_SLO
         self.web = web if web is not None else WebGenerator(
             web_spec or WebSpec()
         ).build()
@@ -140,6 +156,7 @@ class Symphony:
             cache_enabled=cache_enabled,
             telemetry=self.telemetry,
             resilience=self.resilience,
+            slo=self.slo,
         )
         self.publisher = Publisher()
         self.publisher.register_platform(SocialPlatform("facebook"))
@@ -209,6 +226,7 @@ class Symphony:
             self.autoscaler = Autoscaler(
                 self.engine, self.controlplane,
                 telemetry=self.telemetry, policy=policy,
+                slo=(self.slo if self.slo.enabled else None),
             )
         # Opt-in federation: built lazily by enable_federation().
         self.federation = None
@@ -503,6 +521,15 @@ class Symphony:
     def export_telemetry(self, path) -> int:
         """Write collected telemetry as JSONL; returns the line count."""
         return self.telemetry.export_jsonl(path)
+
+    def slo_report(self) -> str:
+        """Error budgets, burn alerts, and flight-recorder state."""
+        return self.slo.report()
+
+    def explain_query(self, query_id: str):
+        """Latency attribution for one query id (see ``repro.slo``);
+        returns ``None`` when no spans were retained for it."""
+        return self.slo.explain(query_id)
 
     # -- monetization (§II-A Monetization) --------------------------------------------
 

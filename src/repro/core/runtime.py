@@ -35,6 +35,7 @@ from repro.gateway.primitives import (
 )
 from repro.resilience import Deadline, Retrier
 from repro.searchengine.logs import QueryEvent
+from repro.slo import NULL_SLO
 from repro.telemetry import Telemetry, render_span_tree
 from repro.util import SimClock
 
@@ -85,7 +86,8 @@ class PipelineTrace:
     """
 
     __slots__ = ("stages", "warnings", "span", "cache_hits",
-                 "cache_misses", "degraded")
+                 "cache_misses", "degraded", "sources_ok",
+                 "sources_failed")
 
     def __init__(self, span=None) -> None:
         self.stages: list = []
@@ -97,6 +99,16 @@ class PipelineTrace:
         # or was skipped (circuit open, deadline expired), or a source
         # itself reported degraded results (cluster shard loss).
         self.degraded = False
+        # Source-call outcomes: answered (live or cached) vs skipped or
+        # failed. Their ratio is the query's result *completeness*,
+        # which the SLO layer judges alongside latency and degradation.
+        self.sources_ok = 0
+        self.sources_failed = 0
+
+    def completeness(self) -> float:
+        """Answered fraction of attempted source calls (1.0 when none)."""
+        attempted = self.sources_ok + self.sources_failed
+        return self.sources_ok / attempted if attempted else 1.0
 
     def add_stage(self, name: str, elapsed_ms: float,
                   detail: str = "") -> None:
@@ -241,7 +253,8 @@ class SymphonyRuntime:
                  circuit_breaker: "CircuitBreaker | None" = None,
                  community_feedback=None,
                  telemetry: Telemetry | None = None,
-                 resilience=None) -> None:
+                 resilience=None,
+                 slo=None) -> None:
         if supplemental_mode not in ("per_result", "batched"):
             raise ValueError(
                 f"unknown supplemental mode {supplemental_mode!r}"
@@ -254,6 +267,10 @@ class SymphonyRuntime:
         self.telemetry = telemetry or Telemetry.disabled()
         self._tracer = self.telemetry.tracer
         self._metrics = self.telemetry.metrics
+        # Opt-in SLO judgment (see repro.slo): every finished query is
+        # reported to the engine; the null object keeps this one
+        # attribute read on the unjudged path.
+        self._slo = slo or NULL_SLO
         self.cache = cache or ResultCache()
         self.cache_enabled = cache_enabled
         if self.telemetry.enabled:
@@ -287,12 +304,53 @@ class SymphonyRuntime:
     # -- entry point ----------------------------------------------------------
 
     def handle_query(self, request: QueryRequest) -> ApplicationResponse:
-        with self._tracer.span("query") as root:
-            if root:
-                root.set("app_id", request.app_id)
-                root.set("query", request.query_text)
-            response = self._handle_query_traced(request,
-                                                 root or None)
+        slo = self._slo
+        queue_wait_ms = 0.0
+        started_ms = 0
+        trace_id = ""
+        if slo.enabled:
+            # On the gateway path the query span nests under the
+            # gateway span, whose queue wait happened *before* it
+            # opened — fold it into the tenant-visible latency.
+            parent = self._tracer.current()
+            if parent is not None \
+                    and getattr(parent, "name", "") == "gateway":
+                queue_wait_ms = float(
+                    parent.attrs.get("queue_wait_ms", 0.0))
+            started_ms = self.clock.now_ms
+        try:
+            with self._tracer.span("query") as root:
+                if root:
+                    root.set("app_id", request.app_id)
+                    root.set("query", request.query_text)
+                    trace_id = root.trace_id
+                response = self._handle_query_traced(request,
+                                                     root or None)
+        except ReproError:
+            # The query path raised (quota, unknown app, ...): still an
+            # observed outcome for the tenant's availability budget.
+            if slo.enabled:
+                slo.observe(
+                    tenant=request.app_id,
+                    latency_ms=(self.clock.now_ms - started_ms
+                                + queue_wait_ms),
+                    degraded=True, errored=True, completeness=0.0,
+                    trace_id=trace_id, start_ms=started_ms,
+                    end_ms=self.clock.now_ms,
+                )
+            raise
+        if slo.enabled:
+            slo.observe(
+                tenant=request.app_id,
+                latency_ms=(self.clock.now_ms - started_ms
+                            + queue_wait_ms),
+                degraded=response.degraded,
+                errored=False,
+                completeness=response.trace.completeness(),
+                trace_id=trace_id,
+                start_ms=started_ms,
+                end_ms=self.clock.now_ms,
+            )
         if self._metrics.enabled:
             self._metrics.counter("queries_total").inc()
             for stage in response.trace.stages:
@@ -738,6 +796,7 @@ class SymphonyRuntime:
             cached = self.cache.get(cache_key, self.clock.now_ms)
             if cached is not None:
                 trace.record_cache(True)
+                trace.sources_ok += 1
                 return cached
             trace.record_cache(False)
         deadline = context.get("deadline")
@@ -752,6 +811,7 @@ class SymphonyRuntime:
                     trace, deadline,
                     f"source {binding.source_id} skipped",
                 )
+                trace.sources_failed += 1
                 return SourceResult.empty(binding.source_id)
             if self.circuit_breaker.is_open(binding.source_id):
                 if span:
@@ -761,6 +821,7 @@ class SymphonyRuntime:
                     f"source {binding.source_id} skipped: circuit open "
                     "after repeated failures"
                 )
+                trace.sources_failed += 1
                 return SourceResult.empty(binding.source_id)
             self.clock.advance(self._DISPATCH_MS)
             source_query = SourceQuery(
@@ -801,8 +862,10 @@ class SymphonyRuntime:
                 if span:
                     span.set("error", str(exc))
                 self._metrics.counter("source_failures_total").inc()
+                trace.sources_failed += 1
                 return SourceResult.empty(binding.source_id)
             self.circuit_breaker.record_success(binding.source_id)
+            trace.sources_ok += 1
             if result.degraded:
                 trace.degraded = True
                 trace.warnings.append(

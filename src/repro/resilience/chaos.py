@@ -55,6 +55,16 @@ class FaultPlan:
     replica_latency_spike_ms: float = 0.0
     replica_latency_spike_rate: float = 0.0
     replica_flap_period: int = 0       # every N queries, flip one down
+    # Targeted, deterministic degradation: every query, every replica of
+    # this shard serves ``slow_shard_ms`` slow (no RNG — the fault the
+    # SLO layer is expected to detect and attribute).
+    slow_shard: int = -1
+    slow_shard_ms: float = 0.0
+    # SLO layer under test: SLOConfig overrides plus ``expect_*``
+    # assertions the harness checks after the storm —
+    #   {"fast_window_ms": 5000, ..., "expect_burn": true,
+    #    "expect_dominant": "shard:1"}.
+    slo: dict = field(default_factory=dict)
     # Resilience configuration under test.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     hedge: HedgePolicy | None = field(default_factory=HedgePolicy)
@@ -132,6 +142,14 @@ class ChaosReport:
     topology_version: int = 0
     reshard_probes: int = 0
     cache_cutover_probes: int = 0
+    # SLO-layer accounting (zero/empty when the plan has no slo block).
+    slo_burn_alerts: int = 0
+    slo_first_alert_ms: int = 0
+    slo_detection_ms: int = 0          # fault start -> first alert (sim)
+    slo_breaching_retained: int = 0
+    slo_dominant: str = ""
+    slo_worst_attribution: dict = field(default_factory=dict)
+    slo_recorder: dict = field(default_factory=dict)
     violations: list = field(default_factory=list)
     escaped: list = field(default_factory=list)
 
@@ -159,6 +177,14 @@ class ChaosReport:
                 f"  reshard probes       {self.reshard_probes} "
                 f"({self.cache_cutover_probes} cache cutover checks)",
             ]
+        if self.slo_burn_alerts or self.slo_dominant:
+            lines += [
+                f"  slo burn alerts      {self.slo_burn_alerts} "
+                f"(first at {self.slo_first_alert_ms}ms sim)",
+                f"  slo traces retained  {self.slo_breaching_retained} "
+                f"breaching",
+                f"  slo dominant cause   {self.slo_dominant}",
+            ]
         if self.escaped:
             lines.append(f"  ESCAPED EXCEPTIONS   {len(self.escaped)}")
             lines += [f"    - {item}" for item in self.escaped]
@@ -167,6 +193,17 @@ class ChaosReport:
             lines += [f"    - {item}" for item in self.violations]
         lines.append("  verdict: " + ("OK" if self.ok else "FAILED"))
         return "\n".join(lines)
+
+
+def _slo_config(plan: FaultPlan):
+    """The plan's SLO layer, or ``None``. ``expect_*`` keys are harness
+    assertions, not :class:`~repro.slo.SLOConfig` fields."""
+    if not plan.slo:
+        return None
+    from repro.slo import SLOConfig
+    options = {key: value for key, value in plan.slo.items()
+               if not key.startswith("expect_")}
+    return SLOConfig.from_dict(options)
 
 
 def _build_platform(plan: FaultPlan):
@@ -198,6 +235,7 @@ def _build_platform(plan: FaultPlan):
         # the cutover cache-invalidation invariant can be probed.
         controlplane=bool(plan.reshard) or None,
         gateway=bool(plan.reshard) or None,
+        slo=_slo_config(plan),
     )
     # Swap in a bus seeded by the plan so fault draws replay, then apply
     # the per-service profiles. Must happen before add_service_source:
@@ -279,6 +317,13 @@ def _inject_replica_chaos(engine, plan: FaultPlan, index: int) -> None:
     groups = getattr(engine, "groups", None)
     if not groups:
         return
+    if (plan.slow_shard_ms > 0
+            and 0 <= plan.slow_shard < len(groups)):
+        # Deterministic hot shard: slow every replica so hedging cannot
+        # route around it — the whole shard is degraded, and the SLO
+        # layer should both alert on the burn and name this shard.
+        for replica in groups[plan.slow_shard].replicas:
+            replica.inject_latency(plan.slow_shard_ms, 4)
     rng = deterministic_rng((plan.seed, "chaos", index))
     for group in groups:
         for replica in group.replicas:
@@ -459,6 +504,38 @@ class _ReshardStorm:
             self.report.reshard_probes += 1
 
 
+def _check_slo(symphony, plan: FaultPlan, report: ChaosReport,
+               workload_started_ms: int = 0) -> None:
+    """Fill the report's SLO fields and check the plan's ``expect_*``
+    assertions: did the burn alert fire, and does the explain()
+    attribution name the fault the plan injected?"""
+    slo = symphony.slo
+    fired = [a for a in slo.alerts() if a.get("kind") == "fire"]
+    report.slo_burn_alerts = len(fired)
+    report.slo_first_alert_ms = (slo.first_burn_ms() or 0)
+    if fired and workload_started_ms:
+        report.slo_detection_ms = (report.slo_first_alert_ms
+                                   - workload_started_ms)
+    report.slo_breaching_retained = len(slo.recorder.breaching())
+    report.slo_recorder = slo.recorder.stats.as_dict()
+    worst = slo.worst_record()
+    if worst is not None:
+        attribution = slo.explain(worst.query_id)
+        if attribution is not None:
+            report.slo_dominant = attribution.dominant_label
+            report.slo_worst_attribution = attribution.to_dict()
+    if plan.slo.get("expect_burn") and not fired:
+        report.violations.append(
+            "slo: expected a burn-rate alert to fire; none did"
+        )
+    expected = plan.slo.get("expect_dominant", "")
+    if expected and not report.slo_dominant.startswith(expected):
+        report.violations.append(
+            f"slo: expected dominant cause {expected!r}, "
+            f"explain() said {report.slo_dominant!r}"
+        )
+
+
 def run_chaos(plan: FaultPlan) -> ChaosReport:
     """Run the plan's fault storm and check the resilience invariants."""
     symphony = _build_platform(plan)
@@ -470,6 +547,7 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
         storm.capture_baseline()
     budget = plan.deadline_ms + plan.grace_ms
     clock = symphony.clock
+    workload_started_ms = clock.now_ms
     for index in range(plan.queries):
         _inject_replica_chaos(symphony.engine, plan, index)
         query = games[index % len(games)]
@@ -517,6 +595,8 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
                 f"only {report.reshards_completed} of {storm.started} "
                 f"reshards completed"
             )
+    if symphony.slo.enabled:
+        _check_slo(symphony, plan, report, workload_started_ms)
     metrics = symphony.telemetry.metrics
     report.retries = int(metrics.counter("retries_total").value)
     report.retry_exhaustions = int(

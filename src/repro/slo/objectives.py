@@ -1,0 +1,224 @@
+"""SLO definitions and rolling error budgets.
+
+An :class:`SLODefinition` states an objective over one signal of the
+query stream — latency against a threshold, availability (the
+non-degraded, non-errored fraction), or result completeness (the
+fraction of supplemental/source calls that actually answered). Each
+definition applies platform-wide (``tenant=""``) or to one tenant,
+where tenants are the gateway's admission principals (app ids).
+
+An :class:`ErrorBudget` tracks the good/bad stream against the
+objective over two rolling windows (fast ~5m, slow ~1h of *simulated*
+time), the shape multi-window burn-rate alerting needs: the burn rate
+is ``bad_fraction / (1 - objective)`` — 1.0 means "spending the budget
+exactly as fast as the objective allows", higher means the budget
+drains early. Everything is timed off SimClock; identical runs yield
+identical budgets and burn rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SLODefinition", "SLOConfig", "ErrorBudget"]
+
+_KINDS = ("latency", "availability", "completeness")
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One objective over the query stream."""
+
+    name: str
+    kind: str                       # latency | availability | completeness
+    objective: float = 0.99         # target good fraction, in (0, 1)
+    tenant: str = ""                # "" = platform-wide; else an app id
+    #: ``latency`` kind: a query is good when it finishes within this
+    #: many simulated ms.
+    latency_threshold_ms: float = 400.0
+    #: ``completeness`` kind: a query is good when at least this
+    #: fraction of its source calls answered.
+    completeness_floor: float = 0.75
+    fast_window_ms: int = 300_000       # ~5 simulated minutes
+    slow_window_ms: int = 3_600_000     # ~1 simulated hour
+    #: Burn rate (both windows) at which the alert fires.
+    burn_threshold: float = 6.0
+    #: Minimum fast-window events before alerting — a single bad query
+    #: in an empty window is a 100% bad fraction, not an incident.
+    min_events: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; expected one of "
+                f"{_KINDS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be within (0, 1)")
+        if self.fast_window_ms <= 0 \
+                or self.slow_window_ms < self.fast_window_ms:
+            raise ValueError(
+                "need 0 < fast_window_ms <= slow_window_ms"
+            )
+        if self.burn_threshold <= 0 or self.min_events < 1:
+            raise ValueError("burn_threshold must be positive and "
+                             "min_events at least 1")
+
+    def matches(self, tenant: str) -> bool:
+        return not self.tenant or self.tenant == tenant
+
+    def judge(self, latency_ms: float, degraded: bool, errored: bool,
+              completeness: float) -> bool:
+        """Is one observed query *good* under this objective?"""
+        if errored:
+            return False
+        if self.kind == "latency":
+            return latency_ms <= self.latency_threshold_ms
+        if self.kind == "availability":
+            return not degraded
+        return completeness >= self.completeness_floor
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Construction knobs for :class:`~repro.slo.engine.SLOEngine`.
+
+    The scalar fields shape the three default platform-wide objectives
+    (latency, availability, completeness); pass explicit ``slos`` to
+    replace them entirely (e.g. to add per-tenant objectives).
+    """
+
+    latency_threshold_ms: float = 400.0
+    latency_objective: float = 0.99
+    availability_objective: float = 0.99
+    completeness_floor: float = 0.75
+    completeness_objective: float = 0.95
+    fast_window_ms: int = 300_000
+    slow_window_ms: int = 3_600_000
+    burn_threshold: float = 6.0
+    min_events: int = 8
+    #: Explicit objectives; empty means "build the three defaults".
+    slos: tuple = ()
+    # -- flight recorder ------------------------------------------------------
+    recorder_capacity: int = 256
+    #: A query is "slow" (anomalous) when its latency exceeds this
+    #: rolling quantile of all observed latencies.
+    slow_quantile: float = 0.95
+    #: Minimum observations before the slow-tail gate engages.
+    slow_min_samples: int = 32
+    #: Retain every Nth clean query too (0 disables clean sampling).
+    clean_sample_every: int = 0
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SLOConfig":
+        data = dict(data)
+        slos = data.pop("slos", ())
+        config = cls(**data)
+        if slos:
+            config = SLOConfig(
+                **{**data,
+                   "slos": tuple(SLODefinition(**s) for s in slos)},
+            )
+        return config
+
+    def build_slos(self) -> tuple:
+        if self.slos:
+            return tuple(self.slos)
+        window = {"fast_window_ms": self.fast_window_ms,
+                  "slow_window_ms": self.slow_window_ms,
+                  "burn_threshold": self.burn_threshold,
+                  "min_events": self.min_events}
+        return (
+            SLODefinition(
+                name="latency", kind="latency",
+                objective=self.latency_objective,
+                latency_threshold_ms=self.latency_threshold_ms,
+                **window,
+            ),
+            SLODefinition(
+                name="availability", kind="availability",
+                objective=self.availability_objective, **window,
+            ),
+            SLODefinition(
+                name="completeness", kind="completeness",
+                objective=self.completeness_objective,
+                completeness_floor=self.completeness_floor, **window,
+            ),
+        )
+
+
+@dataclass
+class _Window:
+    """One rolling (timestamp, good) window with a running bad count."""
+
+    span_ms: int
+    entries: deque = field(default_factory=deque)
+    bad: int = 0
+
+    def record(self, now_ms: int, good: bool) -> None:
+        self.entries.append((now_ms, good))
+        if not good:
+            self.bad += 1
+        self.prune(now_ms)
+
+    def prune(self, now_ms: int) -> None:
+        cutoff = now_ms - self.span_ms
+        entries = self.entries
+        while entries and entries[0][0] <= cutoff:
+            __, good = entries.popleft()
+            if not good:
+                self.bad -= 1
+
+    @property
+    def total(self) -> int:
+        return len(self.entries)
+
+    def bad_fraction(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+
+class ErrorBudget:
+    """Fast + slow rolling windows for one SLO, plus the burn math."""
+
+    __slots__ = ("slo", "fast", "slow", "seen", "bad_total")
+
+    def __init__(self, slo: SLODefinition) -> None:
+        self.slo = slo
+        self.fast = _Window(slo.fast_window_ms)
+        self.slow = _Window(slo.slow_window_ms)
+        self.seen = 0
+        self.bad_total = 0
+
+    def record(self, now_ms: int, good: bool) -> None:
+        self.seen += 1
+        if not good:
+            self.bad_total += 1
+        self.fast.record(now_ms, good)
+        self.slow.record(now_ms, good)
+
+    def burn_rates(self, now_ms: int) -> tuple[float, float]:
+        """(fast, slow) burn rates: bad fraction over budget fraction."""
+        self.fast.prune(now_ms)
+        self.slow.prune(now_ms)
+        allowed = 1.0 - self.slo.objective
+        return (self.fast.bad_fraction() / allowed,
+                self.slow.bad_fraction() / allowed)
+
+    def status(self, now_ms: int) -> dict:
+        """Budget snapshot over the slow window (the budget period)."""
+        fast_burn, slow_burn = self.burn_rates(now_ms)
+        allowed = 1.0 - self.slo.objective
+        consumed = (self.slow.bad_fraction() / allowed
+                    if self.slow.total else 0.0)
+        return {
+            "slo": self.slo.name,
+            "tenant": self.slo.tenant,
+            "objective": self.slo.objective,
+            "events": self.slow.total,
+            "bad": self.slow.bad,
+            "fast_burn": round(fast_burn, 4),
+            "slow_burn": round(slow_burn, 4),
+            "budget_consumed": round(consumed, 4),
+            "budget_remaining": round(max(0.0, 1.0 - consumed), 4),
+        }

@@ -33,6 +33,7 @@ from repro.telemetry.export import (
     telemetry_lines,
 )
 from repro.telemetry.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     NULL_METRICS,
     Counter,
     Gauge,
@@ -61,6 +62,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "DEFAULT_BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -115,6 +117,7 @@ class Telemetry:
             "spans": [s.to_dict() for s in self.tracer.spans],
             "events": [e.to_dict() for e in self.events.events],
             "metrics": self.metrics.snapshot(),
+            "events_dropped": self.events.dropped,
         }
 
     def report(self) -> str:

@@ -45,15 +45,31 @@ class EventLog:
         self._clock = clock or SimClock()
         self._metrics = metrics
         self._events: deque = deque(maxlen=max_events)
+        self._dropped = 0
         self._lock = threading.Lock()
 
     def emit(self, kind: str, **fields) -> TelemetryEvent:
         event = TelemetryEvent(self._clock.now_ms, kind, fields)
+        wrapped = False
         with self._lock:
+            # A full deque(maxlen=...) silently evicts its oldest entry
+            # on append; count that so a saturated run is visibly
+            # lossy instead of quietly truncated.
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1
+                wrapped = True
             self._events.append(event)
         if self._metrics is not None:
             self._metrics.counter("events_total", kind=kind).inc()
+            if wrapped:
+                self._metrics.counter("events_dropped_total").inc()
         return event
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the bounded deque since construction."""
+        with self._lock:
+            return self._dropped
 
     @property
     def events(self) -> list:
@@ -83,6 +99,7 @@ class NullEventLog:
 
     enabled = False
     events: tuple = ()
+    dropped = 0
 
     def emit(self, kind: str, **fields) -> None:
         return None

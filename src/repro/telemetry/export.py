@@ -30,7 +30,8 @@ def telemetry_lines(telemetry) -> list[dict]:
     for event in telemetry.events.events:
         lines.append(dict(event.to_dict(), type="event"))
     lines.append({"type": "metrics",
-                  "snapshot": telemetry.metrics.snapshot()})
+                  "snapshot": telemetry.metrics.snapshot(),
+                  "events_dropped": telemetry.events.dropped})
     return lines
 
 
@@ -49,6 +50,7 @@ def load_jsonl(lines) -> dict:
         "spans": [],
         "events": [],
         "metrics": {"counter": {}, "gauge": {}, "histogram": {}},
+        "events_dropped": 0,
     }
     for raw in lines:
         raw = raw.strip()
@@ -62,6 +64,7 @@ def load_jsonl(lines) -> dict:
             data["events"].append(entry)
         elif kind == "metrics":
             data["metrics"] = entry["snapshot"]
+            data["events_dropped"] = entry.get("events_dropped", 0)
     return data
 
 
@@ -87,8 +90,10 @@ def render_report(data: dict) -> str:
         lines.append("  (none recorded)")
 
     events = data.get("events", [])
+    dropped = data.get("events_dropped", 0)
     lines.append("")
-    lines.append(f"Events ({len(events)}):")
+    lines.append(f"Events ({len(events)}"
+                 + (f", {dropped} dropped" if dropped else "") + "):")
     counts = _event_counts(events)
     if counts:
         for kind, count in counts.items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import threading
+from bisect import bisect_left
 
 __all__ = [
     "Counter",
@@ -24,7 +25,18 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "DEFAULT_BUCKET_BOUNDS",
 ]
+
+#: Fixed, deterministic bucket upper bounds (``le``) for every
+#: histogram's Prometheus exposition. Spanning sub-ms dispatch costs to
+#: multi-second chaos latencies, they let an external scraper compute
+#: its own quantiles from cumulative counts regardless of sample
+#: compaction.
+DEFAULT_BUCKET_BOUNDS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 class Counter:
@@ -86,12 +98,16 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "sample_cap", "count", "total",
-                 "min", "max", "_samples", "_stride", "_lock")
+                 "min", "max", "bucket_bounds", "_bucket_counts",
+                 "_samples", "_stride", "_sorted", "_lock")
 
     def __init__(self, name: str, labels: tuple = (),
-                 sample_cap: int = 2048) -> None:
+                 sample_cap: int = 2048,
+                 bucket_bounds: tuple = DEFAULT_BUCKET_BOUNDS) -> None:
         if sample_cap < 8:
             raise ValueError("sample_cap must be at least 8")
+        if tuple(bucket_bounds) != tuple(sorted(bucket_bounds)):
+            raise ValueError("bucket_bounds must be sorted ascending")
         self.name = name
         self.labels = labels
         self.sample_cap = sample_cap
@@ -99,8 +115,14 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.bucket_bounds = tuple(bucket_bounds)
+        # Exact per-bucket counts (last slot is the +Inf overflow) —
+        # unlike the quantile samples these never compact, so the
+        # exposition's cumulative counts are exact at any volume.
+        self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
         self._samples: list[float] = []
         self._stride = 1       # keep every _stride-th observation
+        self._sorted = True    # _samples currently in sorted order?
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -112,12 +134,16 @@ class Histogram:
                                                           value)
             self.max = value if self.max is None else max(self.max,
                                                           value)
+            self._bucket_counts[
+                bisect_left(self.bucket_bounds, value)] += 1
             if self.count % self._stride == 0:
                 self._samples.append(value)
+                self._sorted = False
             if len(self._samples) > self.sample_cap:
                 self._samples.sort()
                 self._samples = self._samples[::2]
                 self._stride *= 2
+                self._sorted = True
 
     def quantile(self, q: float) -> float | None:
         """Nearest-rank quantile; ``None`` when nothing was observed."""
@@ -126,9 +152,26 @@ class Histogram:
         with self._lock:
             if not self._samples:
                 return None
-            ordered = sorted(self._samples)
-        index = max(0, math.ceil(q * len(ordered)) - 1)
-        return ordered[index]
+            # Sort lazily, once per batch of observations: a scrape
+            # reads three quantiles per histogram and used to pay a
+            # full re-sort for each.
+            if not self._sorted:
+                self._samples.sort()
+                self._sorted = True
+            index = max(0, math.ceil(q * len(self._samples)) - 1)
+            return self._samples[index]
+
+    def buckets(self) -> dict:
+        """Cumulative ``{le: count}`` with string keys (JSON-stable)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        out: dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.bucket_bounds, counts):
+            running += bucket_count
+            out[f"{bound:g}"] = running
+        out["+Inf"] = running + counts[-1]
+        return out
 
     def summary(self) -> dict:
         return {
@@ -139,6 +182,7 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "buckets": self.buckets(),
         }
 
 
@@ -222,18 +266,18 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self, prefix: str = "repro_") -> str:
-        """Prometheus-style text exposition (counters, gauges, summaries)."""
+        """Prometheus-style text exposition (counters, gauges, histograms)."""
         lines: list[str] = []
         seen_types: set[str] = set()
         for (kind, name, label_key), instrument in self._sorted_items():
             metric = f"{prefix}{name}"
             if metric not in seen_types:
                 seen_types.add(metric)
-                prom_kind = "summary" if kind == "histogram" else kind
-                lines.append(f"# TYPE {metric} {prom_kind}")
+                lines.append(f"# TYPE {metric} {kind}")
             labels = _prom_labels(label_key)
             if kind == "histogram":
                 summary = instrument.summary()
+                # Pre-computed quantiles (convenience gauges) ...
                 for q_name, q in (("0.5", "p50"), ("0.95", "p95"),
                                   ("0.99", "p99")):
                     value = summary.get(q)
@@ -243,6 +287,14 @@ class MetricsRegistry:
                         label_key + (("quantile", q_name),)
                     )
                     lines.append(f"{metric}{q_labels} {value}")
+                # ... plus exact cumulative buckets, so external
+                # scrapers can derive any quantile themselves.
+                for le, cumulative in summary["buckets"].items():
+                    le_labels = _prom_labels(
+                        label_key + (("le", le),)
+                    )
+                    lines.append(
+                        f"{metric}_bucket{le_labels} {cumulative}")
                 lines.append(f"{metric}_count{labels} "
                              f"{summary['count']}")
                 lines.append(f"{metric}_sum{labels} {summary['sum']}")

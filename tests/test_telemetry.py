@@ -9,6 +9,9 @@ and limiter events), and the JSONL round-trip through the exporter.
 from __future__ import annotations
 
 import io
+import json
+import math
+from collections import deque
 
 import pytest
 
@@ -32,6 +35,7 @@ from repro.telemetry import (
     load_jsonl,
     render_report,
     render_span_tree,
+    telemetry_lines,
 )
 from repro.util import SimClock
 
@@ -134,6 +138,42 @@ class TestHistogram:
 
         assert run() == run()
 
+    def test_interleaved_observe_and_quantile(self):
+        # Regression for the lazy-sort flag: an observe after a
+        # quantile read must dirty the sorted sample buffer, or later
+        # quantiles are computed against a stale ordering.
+        hist = Histogram("latency")
+        reference: list[float] = []
+        values = [50.0, 10.0, 90.0, 30.0, 70.0, 20.0, 80.0, 5.0]
+        for value in values:
+            hist.observe(value)
+            reference.append(value)
+            ordered = sorted(reference)
+            for q in (0.0, 0.5, 0.95, 1.0):
+                index = max(0, math.ceil(q * len(ordered)) - 1)
+                assert hist.quantile(q) == ordered[index]
+
+    def test_buckets_are_cumulative_with_overflow(self):
+        hist = Histogram("latency")
+        for value in (0.5, 3.0, 3.0, 40.0, 99_999.0):
+            hist.observe(value)
+        buckets = hist.buckets()
+        assert buckets["1"] == 1        # 0.5
+        assert buckets["5"] == 3        # + two 3.0s
+        assert buckets["50"] == 4       # + 40.0
+        assert buckets["10000"] == 4    # nothing between 50 and 10k
+        assert buckets["+Inf"] == 5     # 99999 overflows the last bound
+        assert list(buckets)[-1] == "+Inf"
+
+    def test_bucket_counts_survive_compaction(self):
+        # Sample compaction approximates quantiles but must never touch
+        # the exact bucket counters.
+        hist = Histogram("latency", sample_cap=8)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.buckets()["100"] == 100
+        assert hist.buckets()["+Inf"] == 100
+
 
 # -- metrics registry ---------------------------------------------------------
 
@@ -162,6 +202,31 @@ class TestMetricsRegistry:
         assert 'repro_stage_ms{stage="primary",quantile="0.5"} 5.0' \
             in text
         assert 'repro_stage_ms_count{stage="primary"} 1' in text
+
+    def test_prometheus_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("stage_ms", stage="primary")
+        for value in (0.5, 3.0, 40.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_stage_ms histogram" in text
+        assert 'repro_stage_ms_bucket{stage="primary",le="1"} 1' \
+            in text
+        assert 'repro_stage_ms_bucket{stage="primary",le="5"} 2' \
+            in text
+        assert 'repro_stage_ms_bucket{stage="primary",le="50"} 3' \
+            in text
+        assert 'repro_stage_ms_bucket{stage="primary",le="+Inf"} 3' \
+            in text
+        assert 'repro_stage_ms_sum{stage="primary"} 43.5' in text
+
+    def test_bucket_labels_order_keeps_le_last(self):
+        # Prometheus convention: `le` renders after the metric's own
+        # labels so series sort stably across scrapes.
+        registry = MetricsRegistry()
+        registry.histogram("ms", zone="a").observe(1.0)
+        text = registry.render_prometheus()
+        assert 'repro_ms_bucket{zone="a",le="1"} 1' in text
 
 
 # -- tracer -------------------------------------------------------------------
@@ -419,6 +484,27 @@ class TestInstrumentWiring:
         assert event.kind == "ratelimit.rejected"
         assert event.fields["app_id"] == "app-1"
 
+    def test_event_log_counts_dropped_on_wrap(self):
+        registry = MetricsRegistry()
+        log = EventLog(metrics=registry, max_events=3)
+        for i in range(5):
+            log.emit("tick", n=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        # Oldest two evicted; the deque keeps the newest window.
+        assert [e.fields["n"] for e in log.events] == [2, 3, 4]
+        counters = registry.snapshot()["counter"]
+        assert counters["events_dropped_total"] == 2.0
+
+    def test_event_log_no_drops_below_capacity(self):
+        registry = MetricsRegistry()
+        log = EventLog(metrics=registry, max_events=10)
+        for __ in range(10):
+            log.emit("tick")
+        assert log.dropped == 0
+        assert "events_dropped_total" \
+            not in registry.snapshot()["counter"]
+
 
 # -- export round-trip --------------------------------------------------------
 
@@ -446,3 +532,33 @@ class TestExport:
         live = [s.to_dict() for s in sym.telemetry.tracer.spans]
         assert loaded["spans"] == live
         assert loaded["metrics"] == sym.telemetry.metrics.snapshot()
+
+    def test_histogram_buckets_round_trip(self, traced_gamerqueen):
+        # Cumulative bucket counts ride through the JSONL metrics line
+        # exactly — a loaded snapshot can answer "how many queries under
+        # X ms" without the original samples.
+        sym, app_id, games = traced_gamerqueen
+        sym.query(app_id, games[0])
+        loaded = load_jsonl(
+            io.StringIO("\n".join(
+                json.dumps(line)
+                for line in telemetry_lines(sym.telemetry)))
+        )
+        live = sym.telemetry.metrics.snapshot()["histogram"]
+        for name, summary in loaded["metrics"]["histogram"].items():
+            assert summary["buckets"] == live[name]["buckets"]
+            assert list(summary["buckets"])[-1] == "+Inf"
+
+    def test_dropped_events_round_trip_into_report(self):
+        telemetry = Telemetry()
+        # Shrink the log so the run visibly saturates it.
+        telemetry.events._events = deque(maxlen=2)
+        for i in range(5):
+            telemetry.events.emit("tick", n=i)
+        buffer = io.StringIO()
+        dump_jsonl(telemetry, buffer)
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        assert loaded["events_dropped"] == 3
+        assert ", 3 dropped" in render_report(loaded)
+        assert render_report(loaded) == telemetry.report()
