@@ -1,0 +1,350 @@
+"""Experiment X14 — crash recovery is bounded and durability is cheap.
+
+Three claims, one artifact:
+
+1. **Catch-up is linear in the WAL backlog** — with automatic
+   checkpoints off (baseline snapshot only), a crashed replica's
+   simulated catch-up time grows linearly with the number of WAL
+   records it missed: fitting catch-up vs backlog across a sweep must
+   give R² ≥ 0.98 with a positive slope.
+2. **Checkpoints bound replay** — with a checkpoint cadence of K
+   records, recovery at the largest backlog replays fewer than K
+   records and is strictly cheaper than the checkpoint-free recovery
+   of the same backlog.
+3. **Clean-path overhead ≤ 5%** — WAL append + LSN stamping on every
+   mutation must cost at most 5% wall-clock on a mixed ingest/query
+   workload, judged on the median of paired rounds that toggle the
+   durability layer off/on on the same cluster. The automatic
+   checkpoint cost at the default cadence (an amortized
+   O(shard docs / cadence) snapshot copy, tunable, off the per-write
+   hot path) is measured the same way and reported alongside.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_recovery.py``), recording the
+  ``x14_recovery`` artifact plus ``BENCH_recovery.json``; or
+* standalone as a CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_recovery.py --check 0.05
+
+  which exits non-zero when any claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+CRASH_SHARD = 0
+CRASH_REPLICA = 1
+BACKLOG_SWEEP = (40, 80, 160, 320)   # docs ingested while crashed
+CHECKPOINT_EVERY = 32
+
+
+def _build(web, durability=None):
+    from repro.cluster import ClusterConfig
+    from repro.core.platform import Symphony
+
+    return Symphony(
+        web=web, use_authority=False,
+        cluster=ClusterConfig(num_shards=2, replicas_per_shard=2),
+        durability=durability,
+    )
+
+
+def _ingest(engine, start: int, count: int, token: str) -> None:
+    from repro.searchengine.documents import FieldedDocument
+    from repro.searchengine.engine import Vertical
+
+    for number in range(start, start + count):
+        engine.add_document(Vertical.WEB, FieldedDocument(
+            f"{token}-{number}",
+            {"title": f"{token} payload {number}",
+             "url": f"http://{token}.example/{number}"},
+            None,
+        ))
+
+
+def _crash_recover(web, docs: int, checkpoint_every: int) -> dict:
+    """One crash/recover cycle; returns the recovery facts."""
+    from repro.durability import DurabilityConfig
+
+    symphony = _build(web, DurabilityConfig(
+        checkpoint_every=checkpoint_every))
+    durability = symphony.durability
+    wal_at_crash = durability.wal.last_lsn(CRASH_SHARD)
+    durability.crash_replica(CRASH_SHARD, CRASH_REPLICA)
+    _ingest(symphony.engine, 0, docs, f"backlog{docs}")
+    backlog = durability.wal.last_lsn(CRASH_SHARD) - wal_at_crash
+    report = durability.recover_replica(CRASH_SHARD, CRASH_REPLICA)
+    return {
+        "docs_ingested": docs,
+        "backlog_records": backlog,
+        "records_replayed": report.records_replayed,
+        "docs_restored": report.docs_restored,
+        "catch_up_ms": round(report.catch_up_ms, 3),
+        "digest_match": report.digest_match,
+    }
+
+
+def _linear_fit(xs, ys) -> tuple:
+    """Least-squares ``(slope, intercept, r_squared)``."""
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return 0.0, mean_y, 0.0
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    ss_residual = sum((y - (slope * x + intercept)) ** 2
+                      for x, y in zip(xs, ys))
+    r_squared = 1.0 - (ss_residual / ss_total if ss_total else 0.0)
+    return slope, intercept, r_squared
+
+
+def measure_catch_up(web) -> dict:
+    """Claims 1 and 2: the backlog sweep, with and without
+    checkpoints."""
+    no_checkpoint = [_crash_recover(web, docs, checkpoint_every=0)
+                     for docs in BACKLOG_SWEEP]
+    backlogs = [run["backlog_records"] for run in no_checkpoint]
+    catch_ups = [run["catch_up_ms"] for run in no_checkpoint]
+    slope, intercept, r_squared = _linear_fit(backlogs, catch_ups)
+    checkpointed = _crash_recover(web, BACKLOG_SWEEP[-1],
+                                  checkpoint_every=CHECKPOINT_EVERY)
+    return {
+        "sweep": no_checkpoint,
+        "slope_ms_per_record": round(slope, 4),
+        "intercept_ms": round(intercept, 3),
+        "r_squared": round(r_squared, 6),
+        "checkpointed": checkpointed,
+        "checkpoint_every": CHECKPOINT_EVERY,
+    }
+
+
+def _time_round(symphony, start: int, docs: int, queries,
+                token: str) -> float:
+    begin = time.perf_counter()
+    _ingest(symphony.engine, start, docs, token)
+    for query in queries:
+        symphony.engine.search("web", query)
+    return (time.perf_counter() - begin) * 1000.0
+
+
+def _toggle_pairs(symphony, pairs: int, docs_per_round: int) -> list:
+    """Paired on/off ratios of the mixed workload on ONE platform.
+
+    Two separate platforms (one durable, one not) share the process
+    heap, so the durable one's retained WAL inflates full-GC passes
+    that get charged to whichever side happens to be running — the
+    apparent gap dwarfs the real per-write cost. Instead the SAME
+    cluster runs adjacent rounds with its durability layer detached
+    then re-attached: corpus size, heap shape, and cache state are
+    identical within a pair, so the ratio isolates exactly the work
+    the layer adds to each write.
+    """
+    manager = symphony.durability
+    queries = ("payload", "news", "overhead payload")
+    _time_round(symphony, 0, docs_per_round, queries, "warm")
+    ratios = []
+    for pair in range(pairs):
+        start = (1 + 2 * pair) * docs_per_round
+        # Alternate which side goes first: the second round of a pair
+        # runs marginally warmer, and a fixed order would fold that
+        # bias into every ratio.
+        off_first = pair % 2 == 0
+        states = [(None, "off"), (manager, "on")]
+        timed = {}
+        for layer, label in states if off_first else states[::-1]:
+            symphony.engine.durability = layer
+            timed[label] = _time_round(
+                symphony,
+                start + (0 if label == "off" else docs_per_round),
+                docs_per_round, queries, label)
+        symphony.engine.durability = manager
+        if timed["off"] > 0:
+            ratios.append(timed["on"] / timed["off"])
+    return ratios
+
+
+def measure_overhead(web, rounds: int = 20,
+                     docs_per_round: int = 60) -> dict:
+    """Claim 3: the WAL hot path is cheap, judged on paired rounds.
+
+    Adjacent rounds on the same cluster toggle the durability layer
+    off/on (see :func:`_toggle_pairs`); the claim is the median paired
+    ratio for a WAL-only configuration (``checkpoint_every=0``) — WAL
+    append + LSN stamping on every mutation, exactly the work the
+    default cadence adds to *every* write. The automatic-checkpoint
+    cost at the default cadence is measured the same way and reported
+    alongside: it is an amortized O(shard docs / cadence) snapshot
+    copy, a tunable background cost rather than per-write hot-path
+    work, so it informs cadence sizing instead of gating the claim.
+    """
+    from repro.durability import DurabilityConfig
+
+    wal_only = _toggle_pairs(
+        _build(web, DurabilityConfig(checkpoint_every=0)),
+        pairs=rounds, docs_per_round=docs_per_round)
+    with_checkpoints = _toggle_pairs(
+        _build(web, durability=True),
+        pairs=rounds, docs_per_round=docs_per_round)
+    return {
+        "pairs": rounds,
+        "docs_per_round": docs_per_round,
+        "wal_ratio_spread": [round(min(wal_only), 4),
+                             round(max(wal_only), 4)],
+        "overhead": statistics.median(wal_only) - 1.0,
+        "overhead_with_checkpoints": (
+            statistics.median(with_checkpoints) - 1.0),
+    }
+
+
+def measure(web, rounds: int = 10) -> dict:
+    result = {"catch_up": measure_catch_up(web),
+              "overhead": measure_overhead(web, rounds=rounds)}
+    result["verdicts"] = verdicts(result)
+    return result
+
+
+def verdicts(result: dict, threshold: float = 0.05) -> dict:
+    catch_up = result["catch_up"]
+    overhead = result["overhead"]
+    checkpointed = catch_up["checkpointed"]
+    full_replay = catch_up["sweep"][-1]
+    return {
+        "all_recoveries_converged": all(
+            run["digest_match"] is True
+            for run in catch_up["sweep"] + [checkpointed]
+        ),
+        "catch_up_linear_in_backlog": (
+            catch_up["r_squared"] >= 0.98
+            and catch_up["slope_ms_per_record"] > 0
+        ),
+        "checkpoint_bounds_replay": (
+            checkpointed["records_replayed"]
+            < catch_up["checkpoint_every"]
+            <= full_replay["records_replayed"]
+        ),
+        "checkpoint_cheaper_than_full_replay": (
+            checkpointed["catch_up_ms"] < full_replay["catch_up_ms"]
+        ),
+        "overhead_within_budget": overhead["overhead"] <= threshold,
+    }
+
+
+def format_artifact(result: dict, threshold: float) -> str:
+    catch_up = result["catch_up"]
+    overhead = result["overhead"]
+    checks = verdicts(result, threshold)
+    ok = all(checks.values())
+    lines = [
+        "X14 — crash recovery: bounded catch-up, cheap durability",
+        "",
+        "  catch-up vs WAL backlog (no checkpoints past the baseline)",
+        "    backlog   replayed   catch-up",
+    ]
+    for run in catch_up["sweep"]:
+        lines.append(
+            f"    {run['backlog_records']:>7}   "
+            f"{run['records_replayed']:>8}   "
+            f"{run['catch_up_ms']:>8.1f} sim ms"
+        )
+    checkpointed = catch_up["checkpointed"]
+    lines += [
+        f"    linear fit           : "
+        f"{catch_up['slope_ms_per_record']:.3f} ms/record "
+        f"+ {catch_up['intercept_ms']:.1f} ms "
+        f"(R^2 {catch_up['r_squared']:.4f})",
+        "",
+        f"  with checkpoints every {catch_up['checkpoint_every']} "
+        "records (same largest backlog)",
+        f"    records replayed     : "
+        f"{checkpointed['records_replayed']}"
+        f"  (vs {catch_up['sweep'][-1]['records_replayed']} without)",
+        f"    catch-up             : "
+        f"{checkpointed['catch_up_ms']:.1f} sim ms"
+        f"  (vs {catch_up['sweep'][-1]['catch_up_ms']:.1f} without)",
+        "",
+        "  clean-path overhead (ingest+query, paired off/on rounds on "
+        "one cluster)",
+        f"    WAL append + LSN     : {overhead['overhead'] * 100:+8.1f}"
+        f" %   (median of {overhead['pairs']} paired ratios, "
+        f"threshold {threshold * 100:.0f} %)",
+        f"    + auto-checkpoints   : "
+        f"{overhead['overhead_with_checkpoints'] * 100:+8.1f}"
+        f" %   (default cadence; amortized snapshot copy, "
+        f"informational)",
+        "",
+    ]
+    for name, passed in checks.items():
+        lines.append(f"  [{'x' if passed else ' '}] {name}")
+    lines += [
+        "",
+        f"  {'PASS' if ok else 'FAIL'}: recovery is "
+        f"{'checkpoint-bounded, linear in backlog, and cheap' if ok else 'FAILING a claim above'}",
+    ]
+    return "\n".join(lines)
+
+
+def test_recovery_bench(bench_web):
+    """Pytest entry point: record the artifact, enforce every claim."""
+    from benchmarks.conftest import record_artifact
+
+    threshold = 0.05
+    result = measure(bench_web, rounds=10)
+    record_artifact("x14_recovery", format_artifact(result, threshold),
+                    data=result, json_name="BENCH_recovery.json")
+    checks = verdicts(result, threshold)
+    assert all(checks.values()), checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-recovery smoke check (X14)"
+    )
+    parser.add_argument("--check", type=float, default=0.05,
+                        help="max allowed clean-path overhead fraction "
+                             "(default 0.05)")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing benchmarks/artifacts/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    from repro.simweb.generator import WebGenerator, WebSpec
+
+    # A moderate web keeps the smoke check fast while the checkpoint
+    # baseline still holds a real corpus worth restoring.
+    spec = WebSpec(seed=args.seed,
+                   topics=("video_games", "wine", "news"),
+                   extra_sites_per_topic=1, pages_per_site=8,
+                   images_per_site=3, videos_per_site=2,
+                   news_per_site=4)
+    web = WebGenerator(spec).build()
+    result = measure(web, rounds=args.rounds)
+    result["verdicts"] = verdicts(result, args.check)
+    text = format_artifact(result, args.check)
+    print(text)
+    if not args.no_artifact:
+        artifact_dir = repo_root / "benchmarks" / "artifacts"
+        artifact_dir.mkdir(exist_ok=True)
+        (artifact_dir / "x14_recovery.txt").write_text(
+            text + "\n", encoding="utf-8")
+        (artifact_dir / "BENCH_recovery.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    return 0 if all(result["verdicts"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,14 +97,14 @@ class _ClusterIndexView:
 
     def _primary(self, doc_id: str):
         group = self._engine.group_for(doc_id)
-        return group.replicas[0].vertical(self._vertical).index
+        return group.primary().vertical(self._vertical).index
 
     def __contains__(self, doc_id: str) -> bool:
         return doc_id in self._primary(doc_id)
 
     def __len__(self) -> int:
         return sum(
-            len(group.replicas[0].vertical(self._vertical).index)
+            len(group.primary().vertical(self._vertical).index)
             for group in self._engine.active_groups()
         )
 
@@ -114,7 +114,7 @@ class _ClusterIndexView:
     def all_doc_ids(self) -> set:
         ids: set = set()
         for group in self._engine.active_groups():
-            ids |= group.replicas[0].vertical(
+            ids |= group.primary().vertical(
                 self._vertical).index.all_doc_ids()
         return ids
 
@@ -188,6 +188,7 @@ class ClusteredSearchEngine:
             group.tracer = self._tracer
             if self.telemetry.enabled:
                 group.events = self.telemetry.events
+                group.metrics = self._metrics
             if hedge is not None:
                 group.enable_hedging(hedge)
         self.executor = ScatterGatherExecutor(
@@ -198,6 +199,11 @@ class ClusteredSearchEngine:
         # a doc_id to the extra shard(s) that must also see its writes
         # (dual-write window). None on the clean path.
         self.write_fanout = None
+        # Installed by repro.durability: every mutation is appended to
+        # the owning shard's write-ahead log (monotonic LSN) before it
+        # is applied, so a crashed replica can be caught back up. None
+        # keeps the write path log-free.
+        self.durability = None
         # Analyzer / field / parameter reference, independent of replica
         # health (identical to what every replica was built with).
         from repro.searchengine.engine import make_vertical_indexes
@@ -241,6 +247,7 @@ class ClusteredSearchEngine:
         group.tracer = self._tracer
         if self.telemetry.enabled:
             group.events = self.telemetry.events
+            group.metrics = self._metrics
         if self.hedge_policy is not None:
             group.enable_hedging(self.hedge_policy)
         self.groups.append(group)
@@ -257,12 +264,12 @@ class ClusteredSearchEngine:
         return _ClusterVerticalView(self, Vertical(vertical))
 
     def doc_count(self, vertical) -> int:
-        return sum(group.replicas[0].doc_count(vertical)
+        return sum(group.primary().doc_count(vertical)
                    for group in self.active_groups())
 
     def shard_doc_count(self, shard_id: int) -> int:
         """Documents held by one shard, across all verticals."""
-        replica = self.groups[shard_id].replicas[0]
+        replica = self.groups[shard_id].primary()
         return sum(replica.doc_count(vertical)
                    for vertical in replica.verticals)
 
@@ -292,6 +299,47 @@ class ClusteredSearchEngine:
         return tuple(shard_id for shard_id in self.write_fanout(doc_id)
                      if shard_id != primary)
 
+    def replicated_write(self, shard_id: int, op: str, vertical,
+                         document=None, doc_id: str | None = None,
+                         tolerant: bool = False) -> None:
+        """Apply one mutation to every intact replica of one shard.
+
+        When a durability layer is attached the mutation is first
+        appended to the shard's write-ahead log; each replica that
+        applies it advances its ``applied_lsn`` to the record's LSN, so
+        a crashed replica's recovery knows exactly which log tail it
+        missed. ``tolerant`` writes (resharding dual-writes and handoff
+        batches) upsert/discard instead of raising on duplicates or
+        absences, since the copy stream may race them.
+        """
+        lsn = 0
+        if self.durability is not None:
+            lsn = self.durability.append(
+                shard_id, op, vertical, document=document, doc_id=doc_id
+            ).lsn
+        if op == "add":
+            def mutate(replica):
+                if tolerant:
+                    _upsert(replica, vertical, document)
+                else:
+                    replica.add(vertical, document)
+        elif op == "remove":
+            def mutate(replica):
+                if tolerant:
+                    _discard(replica, vertical, doc_id)
+                else:
+                    replica.remove(vertical, doc_id)
+        else:
+            raise ValueError(f"unknown write op {op!r}")
+
+        def write(replica):
+            mutate(replica)
+            if lsn:
+                replica.applied_lsn = lsn
+        self.groups[shard_id].broadcast(write)
+        if self.durability is not None:
+            self.durability.after_write(shard_id)
+
     def add_document(self, vertical, document) -> int:
         """Route and index one document; returns the owning shard id.
 
@@ -300,25 +348,21 @@ class ClusteredSearchEngine:
         copy stream may already have delivered the document there).
         """
         shard_id = self.router.shard_of(document.doc_id)
-        self.groups[shard_id].broadcast(
-            lambda replica: replica.add(vertical, document)
-        )
+        self.replicated_write(shard_id, "add", vertical,
+                              document=document)
         for extra in self._extra_write_shards(document.doc_id, shard_id):
-            self.groups[extra].broadcast(
-                lambda replica: _upsert(replica, vertical, document)
-            )
+            self.replicated_write(extra, "add", vertical,
+                                  document=document, tolerant=True)
         self._corpus_version += 1
         return shard_id
 
     def remove_document(self, vertical, doc_id: str) -> int:
         shard_id = self.router.shard_of(doc_id)
-        self.groups[shard_id].broadcast(
-            lambda replica: replica.remove(vertical, doc_id)
-        )
+        self.replicated_write(shard_id, "remove", vertical,
+                              doc_id=doc_id)
         for extra in self._extra_write_shards(doc_id, shard_id):
-            self.groups[extra].broadcast(
-                lambda replica: _discard(replica, vertical, doc_id)
-            )
+            self.replicated_write(extra, "remove", vertical,
+                                  doc_id=doc_id, tolerant=True)
         self._corpus_version += 1
         return shard_id
 
@@ -601,7 +645,7 @@ class ClusteredSearchEngine:
             frequencies: dict[str, int] = {}
             for group in self.active_groups():
                 replica = (group.healthy_replicas()
-                           or group.replicas)[0]
+                           or [group.primary()])[0]
                 for term, count in replica.term_frequencies(
                         vkey).items():
                     frequencies[term] = (

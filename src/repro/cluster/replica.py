@@ -8,9 +8,14 @@ failover: a request rotates across healthy replicas and falls through to
 the next one when a replica errors; a replica that keeps failing is
 taken out of rotation.
 
-Writes (add/remove) always go to *every* replica, including killed
-ones, so a revived replica is immediately consistent — ``kill`` models a
-node that stops serving reads, not one that loses its data.
+Writes (add/remove) go to every replica *with intact index state*,
+including killed ones, so a revived replica is immediately consistent —
+``kill`` models a node that stops serving reads, not one that loses its
+data. ``crash`` models the real failure: the replica's in-memory
+indexes are wiped, subsequent writes are genuinely missed (counted as
+``replica_writes_missed_total``), and the replica can only rejoin after
+:mod:`repro.durability` has caught it up from checkpoint + WAL replay
+— a recovering replica is never served from.
 """
 
 from __future__ import annotations
@@ -47,6 +52,13 @@ class ShardReplica:
         self.replica_id = f"shard-{shard_id}/replica-{replica_index}"
         self.verticals = verticals
         self.healthy = True
+        # Durability state (see repro.durability): a crashed replica has
+        # lost its indexes and must be repaired before rejoining.
+        self.crashed = False
+        self.recovering = False
+        self.applied_lsn = 0        # highest WAL record applied here
+        self.writes_missed = 0      # broadcasts skipped while crashed
+        self.reads_served = 0       # read attempts that reached us
         self._pending_faults: list[Exception] = []
         self._pending_delays: list[float] = []
         self._fault_lock = threading.Lock()
@@ -54,10 +66,62 @@ class ShardReplica:
     # -- health & fault injection -------------------------------------------
 
     def kill(self) -> None:
-        """Take the replica out of read rotation (ops hook / tests)."""
+        """Take the replica out of read rotation (ops hook / tests).
+
+        Chaos injections armed for this replica are disarmed: a pending
+        fault or delay describes a request the dead node will never see,
+        and must not fire on whoever serves after a later revive.
+        """
         self.healthy = False
+        self.clear_injections()
 
     def revive(self) -> None:
+        """Return to read rotation — unless the index state is gone.
+
+        A *crashed* replica stays out of rotation: it holds nothing and
+        must go through :class:`repro.durability.RecoveryManager` (which
+        calls :meth:`rejoin` after checkpoint + WAL replay converge).
+        """
+        self.clear_injections()
+        if self.crashed:
+            return
+        self.healthy = True
+
+    def clear_injections(self) -> None:
+        """Drop any still-armed injected faults and delays."""
+        with self._fault_lock:
+            self._pending_faults.clear()
+            self._pending_delays.clear()
+
+    # -- durability state machine (driven by repro.durability) ---------------
+
+    def crash(self) -> None:
+        """Lose the node: wipe every vertical index and leave rotation.
+
+        Unlike :meth:`kill`, writes broadcast while crashed are *not*
+        applied — the replica genuinely misses them and must be caught
+        up from a checkpoint plus the shard's write-ahead log.
+        """
+        from repro.searchengine.engine import make_vertical_indexes
+        authority = next(
+            (v.authority for v in self.verticals.values() if v.authority),
+            {},
+        )
+        self.verticals = make_vertical_indexes(authority)
+        self.healthy = False
+        self.crashed = True
+        self.recovering = False
+        self.applied_lsn = 0
+        self.clear_injections()
+
+    def begin_recovery(self) -> None:
+        """Enter repair: still crashed, still unserved, being rebuilt."""
+        self.recovering = True
+
+    def rejoin(self) -> None:
+        """Repair done — converged state rejoins read rotation."""
+        self.crashed = False
+        self.recovering = False
         self.healthy = True
 
     def inject_fault(self, count: int = 1,
@@ -113,6 +177,7 @@ class ShardReplica:
 
     def collect_stats(self, vertical, terms) -> CorpusStats:
         """Phase 1: this shard's contribution to the global statistics."""
+        self.reads_served += 1
         self._check_fault()
         vindex = self.vertical(vertical)
         return CorpusStats.collect(vindex.index, vindex.text_fields,
@@ -126,6 +191,7 @@ class ShardReplica:
         shard's full ``(doc_id, score)`` list ordered by score desc then
         id — ready for the gatherer's heap merge.
         """
+        self.reads_served += 1
         self._check_fault()
         vindex = self.vertical(vertical)
         candidates = evaluate_candidates(vindex, node, options, now_ms)
@@ -143,6 +209,7 @@ class ShardReplica:
                        facet_fields) -> dict:
         """Per-shard facet buckets: ``{field: {value: count}}``."""
         from repro.searchengine.facets import compute_facets
+        self.reads_served += 1
         self._check_fault()
         vindex = self.vertical(vertical)
         results = compute_facets(vindex.index, vindex.text_fields,
@@ -174,6 +241,7 @@ class ReplicaGroup:
         # the request onto this group's worker thread.
         self.tracer = NULL_TRACER
         self.events = None
+        self.metrics = None
         # Hedging, installed via enable_hedging by the cluster engine.
         self.hedge_policy = None
         self.latency_histogram = None
@@ -224,12 +292,34 @@ class ReplicaGroup:
         self.replicas[replica_index].kill()
 
     def revive(self, replica_index: int) -> None:
+        """Bring one replica back into rotation (no-op while crashed).
+
+        Besides the health flag, revival resets the failure streak *and*
+        the hedge-latency learning: the attempt-latency distribution was
+        learned while this replica was degraded or absent, and a hedge
+        threshold inflated by its bad period would otherwise persist
+        long after it recovered.
+        """
         self.replicas[replica_index].revive()
         with self._lock:
             self._consecutive_failures[replica_index] = 0
+        self._reset_latency_learning()
 
     def healthy_replicas(self) -> list:
         return [r for r in self.replicas if r.healthy]
+
+    def primary(self):
+        """The first replica with intact index state.
+
+        Crashed replicas hold nothing, so copy streams, doc counts, and
+        read-only views must come from an intact one (killed-but-intact
+        replicas still apply every write, so they qualify). Falls back
+        to replica 0 when the whole group has crashed.
+        """
+        for replica in self.replicas:
+            if not replica.crashed:
+                return replica
+        return self.replicas[0]
 
     @property
     def all_down(self) -> bool:
@@ -238,8 +328,23 @@ class ReplicaGroup:
     # -- write path: replicate everywhere -------------------------------------
 
     def broadcast(self, fn) -> None:
-        """Apply a write to every replica (killed ones included)."""
+        """Apply a write to every replica with intact state.
+
+        Killed replicas still receive writes (their indexes are intact —
+        ``kill`` only stops reads), but *crashed* replicas genuinely
+        miss them: the write is counted against the replica and must be
+        recovered from the shard's write-ahead log before it rejoins.
+        """
         for replica in self.replicas:
+            if replica.crashed:
+                replica.writes_missed += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "replica_writes_missed_total",
+                        shard=str(self.shard_id),
+                        replica=replica.replica_id,
+                    ).inc()
+                continue
             fn(replica)
 
     # -- read path: rotate + fail over + hedge --------------------------------

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.engine import _discard, _upsert
 from repro.cluster.replica import ShardReplica
 from repro.cluster.sharding import RouteMap, route_hash
 from repro.errors import ControlPlaneError
@@ -125,7 +124,7 @@ class ShardLifecycleManager:
         """Clone the shard's primary into a new replica and enroll it."""
         from repro.searchengine.engine import make_vertical_indexes
         group = self.engine.groups[shard_id]
-        primary = group.replicas[0]
+        primary = group.primary()
         index = max(r.replica_index for r in group.replicas) + 1
         replica = ShardReplica(
             shard_id, index, make_vertical_indexes(self.engine.authority)
@@ -133,6 +132,7 @@ class ShardLifecycleManager:
         for vertical, vindex in primary.verticals.items():
             for doc_id in sorted(vindex.index.all_doc_ids()):
                 replica.add(vertical, vindex.index.document(doc_id))
+        replica.applied_lsn = primary.applied_lsn
         group.add_replica(replica)
         self.telemetry.metrics.counter(
             "controlplane_replicas_added_total").inc()
@@ -249,7 +249,7 @@ class ShardLifecycleManager:
     def _moving_docs(self, migration: Migration) -> list:
         """Snapshot the donor documents in the moved ranges (sorted, so
         handoff batches replay identically)."""
-        primary = self.engine.groups[migration.source_id].replicas[0]
+        primary = self.engine.groups[migration.source_id].primary()
         moving = []
         for vertical, vindex in sorted(primary.verticals.items(),
                                        key=lambda kv: kv[0].value):
@@ -259,8 +259,7 @@ class ShardLifecycleManager:
         return moving
 
     def _step_copy(self, migration: Migration) -> None:
-        donor = self.engine.groups[migration.source_id].replicas[0]
-        target = self.engine.groups[migration.target_id]
+        donor = self.engine.groups[migration.source_id].primary()
         batch = migration.pending[:self.batch_size]
         del migration.pending[:self.batch_size]
         copied = 0
@@ -269,9 +268,12 @@ class ShardLifecycleManager:
             if doc_id not in index:      # removed while queued
                 continue
             document = index.document(doc_id)
-            target.broadcast(
-                lambda replica, v=vertical, d=document:
-                _upsert(replica, v, d)
+            # Handoff batches flow through the replicated write path, so
+            # they are WAL-logged on the target shard and a target
+            # replica that crashes mid-handoff can be caught back up.
+            self.engine.replicated_write(
+                migration.target_id, "add", vertical,
+                document=document, tolerant=True,
             )
             copied += 1
         migration.generation += 1
@@ -307,7 +309,6 @@ class ShardLifecycleManager:
         COMPLETE really means the donor holds nothing from the moved
         ranges.
         """
-        donor = self.engine.groups[migration.source_id]
         remaining = self._moving_docs(migration)
         if not remaining:
             self.engine.write_fanout = None
@@ -321,7 +322,7 @@ class ShardLifecycleManager:
             )
             return
         for vertical, doc_id in remaining[:self.batch_size]:
-            donor.broadcast(
-                lambda replica, v=vertical, d=doc_id:
-                _discard(replica, v, d)
+            self.engine.replicated_write(
+                migration.source_id, "remove", vertical,
+                doc_id=doc_id, tolerant=True,
             )

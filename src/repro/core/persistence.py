@@ -9,11 +9,20 @@ What round-trips: tenants (with tables and next-serial counters), source
 configurations, hosted application definitions, customer profiles, and
 the ad marketplace (advertisers, campaigns, and the revenue ledger, so
 designer earnings survive a restart).
-What intentionally does not: the synthetic web and its search index
-(reconstructed deterministically from the seed), service *registrations*
-on the bus (code, not data — re-register the same services before
-importing), access tokens (security material is re-minted), and blobs
-(raw upload archives are replayable from the sources of truth).
+What intentionally does not: the synthetic web and its *initial* search
+index (reconstructed deterministically from the seed), service
+*registrations* on the bus (code, not data — re-register the same
+services before importing), access tokens (security material is
+re-minted), and blobs (raw upload archives are replayable from the
+sources of truth).
+
+Post-seed index mutations are a different story: a clustered deployment
+with ``repro.durability`` enabled logs every add/remove to a per-shard
+write-ahead log and snapshots shards into checkpoints, so documents
+ingested after the initial build survive a *replica* loss via
+checkpoint-restore + WAL replay. That machinery protects replicas
+within a running cluster; this module's export/import remains the path
+for moving platform state across deployments.
 """
 
 from __future__ import annotations

@@ -84,7 +84,8 @@ class Symphony:
                  resilience=None,
                  gateway=None,
                  controlplane=None,
-                 slo=None) -> None:
+                 slo=None,
+                 durability=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
@@ -227,6 +228,28 @@ class Symphony:
                 self.engine, self.controlplane,
                 telemetry=self.telemetry, policy=policy,
                 slo=(self.slo if self.slo.enabled else None),
+            )
+        # Opt-in durability: per-shard write-ahead log, checkpoints, and
+        # crash/recovery for the clustered engine. Pass True for the
+        # defaults or a DurabilityConfig to pick WAL storage/cadence.
+        from repro.durability import NULL_DURABILITY
+        self.durability = NULL_DURABILITY
+        if durability:
+            if cluster is None:
+                raise ConfigurationError(
+                    "durability requires a clustered engine; "
+                    "construct Symphony(cluster=..., durability=True)"
+                )
+            from repro.durability import (
+                DurabilityConfig,
+                DurabilityManager,
+            )
+            config = (durability
+                      if isinstance(durability, DurabilityConfig)
+                      else None)
+            self.durability = DurabilityManager(
+                self.engine, config=config, clock=self.clock,
+                telemetry=self.telemetry,
             )
         # Opt-in federation: built lazily by enable_federation().
         self.federation = None

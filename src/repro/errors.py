@@ -117,6 +117,11 @@ class ControlPlaneError(ReproError):
     flight (only one migration runs at a time)."""
 
 
+class DurabilityError(ReproError):
+    """A WAL/checkpoint/recovery operation was invalid or failed to
+    converge (e.g. a post-replay digest mismatch with a healthy peer)."""
+
+
 class QueryError(ReproError):
     """A search query could not be parsed or evaluated."""
 

@@ -75,6 +75,18 @@ class FaultPlan:
     #    "batch_size": 24, "probe_docs": 8,
     #    "probe_queries": ["news", "game"]}
     reshard: dict = field(default_factory=dict)
+    # Crash/recovery storm (see ``_DurabilityStorm``): replicas crashed
+    # mid-workload — index state wiped, not merely unhealthy — while a
+    # document stream keeps writing, then repaired via checkpoint + WAL
+    # replay. ``"during_reshard": true`` on a crash asserts a migration
+    # is in flight when it lands (the crash-mid-handoff scenario).
+    #   {"checkpoint_every": 24, "storage": "memory",
+    #    "ingest_per_query": 2,
+    #    "crashes": [{"at": 6, "shard": 0, "replica": 1,
+    #                 "recover_at": 18, "during_reshard": false}],
+    #    "expect_recovered": true, "expect_digest_match": true,
+    #    "expect_missed_writes": true}
+    durability: dict = field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
@@ -142,6 +154,14 @@ class ChaosReport:
     topology_version: int = 0
     reshard_probes: int = 0
     cache_cutover_probes: int = 0
+    # Durability-storm accounting (zero when the plan has no
+    # durability block).
+    crashes_injected: int = 0
+    crashes_recovered: int = 0
+    writes_missed: int = 0
+    records_replayed: int = 0
+    digest_matches: int = 0
+    reads_while_down: int = 0
     # SLO-layer accounting (zero/empty when the plan has no slo block).
     slo_burn_alerts: int = 0
     slo_first_alert_ms: int = 0
@@ -176,6 +196,15 @@ class ChaosReport:
                 f"({self.docs_moved} docs moved)",
                 f"  reshard probes       {self.reshard_probes} "
                 f"({self.cache_cutover_probes} cache cutover checks)",
+            ]
+        if self.crashes_injected:
+            lines += [
+                f"  crashes / recovered  {self.crashes_injected} / "
+                f"{self.crashes_recovered}",
+                f"  writes missed        {self.writes_missed} "
+                f"({self.records_replayed} WAL records replayed)",
+                f"  digest matches       {self.digest_matches} "
+                f"({self.reads_while_down} reads served while down)",
             ]
         if self.slo_burn_alerts or self.slo_dominant:
             lines += [
@@ -219,6 +248,14 @@ def _build_platform(plan: FaultPlan):
     web.setdefault("images_per_site", 2)
     web.setdefault("videos_per_site", 2)
     web.setdefault("news_per_site", 3)
+    durability = None
+    if plan.durability:
+        from repro.durability import DurabilityConfig
+        durability = DurabilityConfig(
+            storage=plan.durability.get("storage", "memory"),
+            checkpoint_every=int(
+                plan.durability.get("checkpoint_every", 64)),
+        )
     symphony = Symphony(
         web_spec=WebSpec(seed=plan.seed, **web),
         cluster=ClusterConfig(
@@ -236,6 +273,7 @@ def _build_platform(plan: FaultPlan):
         controlplane=bool(plan.reshard) or None,
         gateway=bool(plan.reshard) or None,
         slo=_slo_config(plan),
+        durability=durability,
     )
     # Swap in a bus seeded by the plan so fault draws replay, then apply
     # the per-service profiles. Must happen before add_service_source:
@@ -317,6 +355,22 @@ def _inject_replica_chaos(engine, plan: FaultPlan, index: int) -> None:
     groups = getattr(engine, "groups", None)
     if not groups:
         return
+    period = plan.replica_flap_period
+    if period and index and index % period == 0:
+        # Flap: bring everything back, then take one replica down so
+        # failover and (with >1 replica) hedging stay exercised without
+        # ever blacking out a whole shard. Runs *before* this
+        # iteration's injections — kill/revive disarm a replica's
+        # pending faults and delays, so injecting first would waste the
+        # storm on flap iterations. (Crashed replicas ignore the
+        # revive: only the recovery manager can bring those back.)
+        for group in groups:
+            for replica_index in range(len(group.replicas)):
+                group.revive(replica_index)
+        flip = index // period
+        group = groups[flip % len(groups)]
+        if len(group.replicas) > 1:
+            group.kill(flip % len(group.replicas))
     if (plan.slow_shard_ms > 0
             and 0 <= plan.slow_shard < len(groups)):
         # Deterministic hot shard: slow every replica so hedging cannot
@@ -338,18 +392,6 @@ def _inject_replica_chaos(engine, plan: FaultPlan, index: int) -> None:
                 replica.inject_latency(
                     plan.replica_latency_spike_ms * (0.5 + rng.random())
                 )
-    period = plan.replica_flap_period
-    if period and index and index % period == 0:
-        # Flap: bring everything back, then take one replica down so
-        # failover and (with >1 replica) hedging stay exercised without
-        # ever blacking out a whole shard.
-        for group in groups:
-            for replica_index in range(len(group.replicas)):
-                group.revive(replica_index)
-        flip = index // period
-        group = groups[flip % len(groups)]
-        if len(group.replicas) > 1:
-            group.kill(flip % len(group.replicas))
 
 
 class _ReshardStorm:
@@ -494,7 +536,7 @@ class _ReshardStorm:
             holders = [
                 group.shard_id
                 for group in engine.active_groups(route)
-                if doc_id in group.replicas[0].vertical(vertical).index
+                if doc_id in group.primary().vertical(vertical).index
             ]
             if owner not in holders:
                 self.report.violations.append(
@@ -502,6 +544,149 @@ class _ReshardStorm:
                     f"at {where} (held by {holders})"
                 )
             self.report.reshard_probes += 1
+
+
+class _DurabilityStorm:
+    """Crashes replicas mid-workload and checks the durability contract:
+
+    * a crashed replica **misses** the writes broadcast while it is
+      down (its state is gone, not merely unrouted);
+    * **zero reads** reach it between crash and rejoin — failover and
+      hedging route around it, and recovery never puts a half-rebuilt
+      replica in rotation;
+    * after checkpoint-restore + WAL replay its per-vertical content
+      digest **matches a healthy peer**, and it rejoins read rotation.
+
+    A steady document stream (``ingest_per_query``) runs alongside the
+    query storm so there genuinely are writes to miss; the stream uses
+    nonsense tokens so it never perturbs the workload or the reshard
+    storm's probe baselines.
+    """
+
+    def __init__(self, symphony, plan: FaultPlan,
+                 report: ChaosReport) -> None:
+        self.symphony = symphony
+        self.plan = plan
+        self.report = report
+        self.durability = symphony.durability
+        config = plan.durability
+        self.crashes = sorted(config.get("crashes", []),
+                              key=lambda step: step.get("at", 0))
+        self.scheduled = len(self.crashes)
+        self.ingest_per_query = int(config.get("ingest_per_query", 0))
+        self._down: dict = {}     # (shard, replica_idx) -> crash info
+        self._ingested = 0
+
+    def on_query(self, index: int) -> None:
+        """One storm iteration: ingest, crash what is due, recover what
+        is due. Runs before the query so the read path sees the crash."""
+        self._ingest()
+        while self.crashes and index >= self.crashes[0].get("at", 0):
+            self._crash(self.crashes.pop(0), index)
+        for key, info in list(self._down.items()):
+            if index >= info["recover_at"]:
+                self._recover(key, info)
+
+    def finish(self) -> None:
+        """Recover anything still down, then check the plan's
+        ``expect_*`` assertions."""
+        for step in self.crashes:      # scheduled past the last query
+            self._crash(step, self.plan.queries)
+        for key, info in list(self._down.items()):
+            self._recover(key, info)
+        report, config = self.report, self.plan.durability
+        if (config.get("expect_recovered")
+                and report.crashes_recovered < self.scheduled):
+            report.violations.append(
+                f"durability: only {report.crashes_recovered} of "
+                f"{self.scheduled} crashed replicas recovered"
+            )
+        if (config.get("expect_digest_match")
+                and report.digest_matches < report.crashes_recovered):
+            report.violations.append(
+                f"durability: {report.digest_matches} digest matches "
+                f"for {report.crashes_recovered} recoveries"
+            )
+        if config.get("expect_missed_writes") and not report.writes_missed:
+            report.violations.append(
+                "durability: expected crashed replicas to miss writes; "
+                "none were missed"
+            )
+
+    # -- internals ------------------------------------------------------------
+
+    def _ingest(self) -> None:
+        """Stream documents through the replicated write path."""
+        from repro.searchengine.documents import FieldedDocument
+        from repro.searchengine.engine import Vertical
+        for _ in range(self.ingest_per_query):
+            number = self._ingested
+            self._ingested += 1
+            self.symphony.engine.add_document(
+                Vertical.WEB,
+                FieldedDocument(
+                    f"zz-durability-{number}",
+                    {"title": f"zzdurability chunk{number}",
+                     "url": f"http://durability.example/{number}"},
+                    None,
+                ),
+            )
+
+    def _crash(self, step: dict, index: int) -> None:
+        shard = int(step["shard"])
+        replica_index = int(step.get("replica", 1))
+        if step.get("during_reshard"):
+            controlplane = self.symphony.controlplane
+            if controlplane is None or not controlplane.active:
+                self.report.violations.append(
+                    f"durability: crash at {index} expected a reshard "
+                    f"in flight; none was"
+                )
+        group = self.symphony.engine.groups[shard]
+        if replica_index >= len(group.replicas):
+            self.report.violations.append(
+                f"durability: crash step names replica {replica_index} "
+                f"of shard {shard}, which has {len(group.replicas)}"
+            )
+            return
+        replica = group.replicas[replica_index]
+        self.durability.crash_replica(shard, replica_index)
+        self.report.crashes_injected += 1
+        self._down[(shard, replica_index)] = {
+            "recover_at": int(step.get("recover_at", index + 6)),
+            "reads_before": replica.reads_served,
+        }
+
+    def _recover(self, key, info: dict) -> None:
+        from repro.errors import DurabilityError
+        shard, replica_index = key
+        replica = self.symphony.engine.groups[shard] \
+            .replicas[replica_index]
+        reads_while_down = replica.reads_served - info["reads_before"]
+        self.report.reads_while_down += reads_while_down
+        if reads_while_down:
+            self.report.violations.append(
+                f"durability: {replica.replica_id} served "
+                f"{reads_while_down} reads while crashed/recovering"
+            )
+        try:
+            recovery = self.durability.recover_replica(
+                shard, replica_index)
+        except DurabilityError as exc:
+            self.report.violations.append(
+                f"durability: recovery of {replica.replica_id} "
+                f"failed: {exc}"
+            )
+            del self._down[key]
+            return
+        self.report.crashes_recovered += 1
+        self.report.writes_missed += recovery.writes_missed
+        self.report.records_replayed += recovery.records_replayed
+        if recovery.digest_match is not False:
+            # True, or None on a single-replica shard (no peer to
+            # compare — convergence is reaching the WAL head).
+            self.report.digest_matches += 1
+        del self._down[key]
 
 
 def _check_slo(symphony, plan: FaultPlan, report: ChaosReport,
@@ -543,6 +728,8 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
     report = ChaosReport(plan_name=plan.name)
     storm = (_ReshardStorm(symphony, plan, app_id, report)
              if plan.reshard else None)
+    durability_storm = (_DurabilityStorm(symphony, plan, report)
+                        if plan.durability else None)
     if storm is not None:
         storm.capture_baseline()
     budget = plan.deadline_ms + plan.grace_ms
@@ -550,6 +737,8 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
     workload_started_ms = clock.now_ms
     for index in range(plan.queries):
         _inject_replica_chaos(symphony.engine, plan, index)
+        if durability_storm is not None:
+            durability_storm.on_query(index)
         query = games[index % len(games)]
         started = clock.now_ms
         try:
@@ -581,6 +770,8 @@ def run_chaos(plan: FaultPlan) -> ChaosReport:
             )
         if storm is not None:
             storm.on_query(index)
+    if durability_storm is not None:
+        durability_storm.finish()
     if storm is not None:
         storm.finish()
         events = symphony.telemetry.events
