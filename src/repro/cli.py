@@ -18,6 +18,8 @@ Usage::
     python -m repro.cli slo --explain worst  # attribute the worst query
     python -m repro.cli durability           # crash + WAL catch-up
     python -m repro.cli durability --storage blob
+    python -m repro.cli contracts            # govern a drifting feed
+    python -m repro.cli contracts --events   # include the event log
 """
 
 from __future__ import annotations
@@ -580,6 +582,42 @@ def _golden_entity_queries(web, limit: int) -> list:
     return golden
 
 
+def _cmd_contracts(args) -> int:
+    """Govern a drifting feed live: the committed drifted-feed
+    scenario (clean refreshes, silent producer drift, feed outage,
+    contract update + quarantine replay), then the contract-status
+    report and the rows still held in quarantine. Exits non-zero if
+    any governance invariant failed."""
+    from repro.contracts.scenario import run_drifted_feed
+
+    symphony = _build_platform(args.seed, contracts=True, slo=True)
+    report = run_drifted_feed(symphony)
+    print(report.render())
+    print()
+    print(report.status_text)
+    print()
+    print("Quarantine")
+    print("==========")
+    held = 0
+    for tenant_id, table in symphony.contracts.quarantine.tables():
+        for entry in symphony.contracts.quarantined_rows(
+                tenant_id, table):
+            held += 1
+            print(f"  {tenant_id}/{table} #{entry.seq} "
+                  f"(source={entry.source or 'upload'}): {entry.row}")
+            for violation in entry.violations:
+                print(f"      - {violation.message}")
+    if not held:
+        print("  (empty)")
+    if args.events:
+        print()
+        print("Event timeline")
+        print("==============")
+        for timestamp_ms, kind in report.events:
+            print(f"  t={timestamp_ms:>6}ms  {kind}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -739,6 +777,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="golden entity queries (default 8)")
     federation.add_argument("--count", type=int, default=10,
                             help="fused results judged per query")
+
+    contracts = sub.add_parser(
+        "contracts",
+        help="run the drifted-feed governance scenario: drift "
+             "detection, quarantine + replay, freshness alerting",
+    )
+    contracts.add_argument("--events", action="store_true",
+                           help="also print the contract/refresh "
+                                "event timeline")
     return parser
 
 
@@ -755,6 +802,7 @@ _COMMANDS = {
     "slo": _cmd_slo,
     "durability": _cmd_durability,
     "federation": _cmd_federation,
+    "contracts": _cmd_contracts,
 }
 
 

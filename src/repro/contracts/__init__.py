@@ -1,0 +1,56 @@
+"""repro.contracts — data contracts and governed ingest.
+
+The governance layer over :mod:`repro.ingest` (ROADMAP item 3): every
+proprietary dataset can declare a :class:`DataContract` — typed fields
+with constraints, canonical-key normalization, a violation policy, and
+a freshness SLA. The :class:`ContractManager` enforces it at load time
+(reject / quarantine / coerce), detects schema drift between producer
+and contract, tracks staleness against the refresh scheduler, and
+feeds a platform-wide freshness error budget into :mod:`repro.slo`.
+Opt-in via ``Symphony(contracts=True)``; ``NULL_CONTRACTS`` keeps the
+ungoverned hot path unchanged.
+"""
+
+from .contract import (
+    NORMALIZE_RULES,
+    VIOLATION_POLICIES,
+    DataContract,
+    FieldContract,
+    FreshnessSLA,
+    normalize_value,
+)
+from .enforcer import (
+    ContractEnforcer,
+    DriftReport,
+    EnforcementResult,
+    Violation,
+)
+from .freshness import FeedFreshness, FreshnessTracker
+from .manager import (
+    NULL_CONTRACTS,
+    ContractManager,
+    ContractsConfig,
+    NullContractManager,
+)
+from .quarantine import QuarantinedRow, QuarantineStore
+
+__all__ = [
+    "DataContract",
+    "FieldContract",
+    "FreshnessSLA",
+    "VIOLATION_POLICIES",
+    "NORMALIZE_RULES",
+    "normalize_value",
+    "ContractEnforcer",
+    "EnforcementResult",
+    "DriftReport",
+    "Violation",
+    "QuarantineStore",
+    "QuarantinedRow",
+    "FreshnessTracker",
+    "FeedFreshness",
+    "ContractsConfig",
+    "ContractManager",
+    "NullContractManager",
+    "NULL_CONTRACTS",
+]

@@ -1,0 +1,525 @@
+"""Row-level contract enforcement and schema-drift detection.
+
+The :class:`ContractEnforcer` sits between parsing and storage: every
+batch of raw rows is normalized, validated against the table's
+:class:`~repro.contracts.contract.DataContract`, and split into clean
+rows (loaded), coerced rows (safe casts, counted), and violations
+(rejected or quarantined per the contract's policy). Alongside row
+validation it diffs the *observed* columns/types against the declared
+ones — added, missing, and retyped columns — so a producer silently
+changing their feed is caught at the very next refresh instead of
+surfacing as corrupt query results weeks later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.records import _COERCERS, FieldType, _classify_value
+
+from .contract import NORMALIZE_RULES, DataContract, FieldContract
+
+__all__ = [
+    "Violation",
+    "DriftReport",
+    "EnforcementResult",
+    "ContractEnforcer",
+]
+
+#: Observed value types each declared type tolerates without drift.
+_COMPATIBLE = {
+    FieldType.STRING: None,   # None == anything stringifies
+    FieldType.TEXT: None,
+    FieldType.INTEGER: {FieldType.INTEGER},
+    FieldType.FLOAT: {FieldType.INTEGER, FieldType.FLOAT},
+    FieldType.BOOLEAN: {FieldType.BOOLEAN},
+    FieldType.DATE: {FieldType.DATE},
+    FieldType.URL: {FieldType.URL},
+}
+
+#: Thousands separators a ``coerce``-policy cast may strip from numbers.
+_NUM_JUNK = str.maketrans("", "", ",_")
+
+
+class _CheckFail(Exception):
+    """Internal: a compiled field check hit a constraint violation."""
+
+    def __init__(self, rule: str, message: str, value=None) -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.message = message
+        self.value = value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken constraint: which row, which field, what rule."""
+
+    row_index: int
+    field: str
+    rule: str        # "type" | "required" | "range" | "enum" | "extra"
+    message: str
+    value: object = None
+
+    def to_dict(self) -> dict:
+        return {
+            "row_index": self.row_index,
+            "field": self.field,
+            "rule": self.rule,
+            "message": self.message,
+            "value": self.value,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Observed columns/types vs. the declared contract."""
+
+    added: tuple = ()      # column names present in data, absent in contract
+    missing: tuple = ()    # declared columns absent from every row
+    retyped: tuple = ()    # (column, declared_type, observed_type)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.added or self.missing or self.retyped)
+
+    def to_dict(self) -> dict:
+        return {
+            "added": list(self.added),
+            "missing": list(self.missing),
+            "retyped": [
+                {"field": name, "declared": declared.value,
+                 "observed": observed.value}
+                for name, declared, observed in self.retyped
+            ],
+        }
+
+    def describe(self) -> str:
+        parts = []
+        if self.added:
+            parts.append(f"added={list(self.added)}")
+        if self.missing:
+            parts.append(f"missing={list(self.missing)}")
+        if self.retyped:
+            parts.append("retyped=" + str([
+                f"{n}:{d.value}->{o.value}" for n, d, o in self.retyped
+            ]))
+        return "; ".join(parts) if parts else "no drift"
+
+
+@dataclass
+class EnforcementResult:
+    """What one batch looked like after the contract had its say."""
+
+    rows: list = field(default_factory=list)        # clean, loadable
+    violations: list = field(default_factory=list)  # Violation records
+    quarantined: list = field(default_factory=list)  # (raw_row, violations)
+    coerced: int = 0
+    drift: DriftReport = field(default_factory=DriftReport)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.drift.drifted
+
+
+class ContractEnforcer:
+    """Validates batches of raw rows against one :class:`DataContract`."""
+
+    def __init__(self, contract: DataContract,
+                 drift_sample_limit: int = 100) -> None:
+        self.contract = contract
+        self.drift_sample_limit = drift_sample_limit
+        # The contract is frozen, so compile it once: per field, a
+        # normalizer (None when the field declares no rules) and ONE
+        # ``value -> typed`` check folding type conversion and
+        # constraints, plus the field-name set for the extra-column
+        # test. Bulk ingest runs these per cell; every spared function
+        # call and attribute lookup is the difference between "free"
+        # and a measurable ingest tax.
+        self._field_names = frozenset(f.name for f in contract.fields)
+        self._checks = tuple(
+            (spec.name, spec, self._compile_normalizer(spec),
+             self._compile_check(spec))
+            for spec in contract.fields
+        )
+        # Code-generated accept-or-bail validator for the common case:
+        # a fully-populated, fully-clean row. Anything it cannot prove
+        # clean (a violation, a missing column, an exotic type) falls
+        # back to the interpreted path above, which stays the source
+        # of truth for *what* went wrong.
+        self._fast_row = self._compile_fast_row(contract)
+
+    @staticmethod
+    def _compile_normalizer(spec: FieldContract):
+        """The field's rule chain as one call, or ``None`` if rule-less."""
+        if spec.units:
+            return spec.normalized       # full path incl. unit scaling
+        if not spec.normalize:
+            return None
+        rules = tuple(NORMALIZE_RULES[r] for r in spec.normalize)
+        if len(rules) == 1:
+            rule = rules[0]
+            return lambda v: rule(v) if type(v) is str else v
+
+        def chain(value, rules=rules):
+            if type(value) is str:
+                for rule in rules:
+                    value = rule(value)
+            return value
+        return chain
+
+    @staticmethod
+    def _compile_check(spec: FieldContract):
+        """One ``value -> typed`` function, fast-pathed on exact type.
+
+        Type failures raise ``ValueError``/``TypeError`` exactly where
+        the generic ``_COERCERS`` would (``bool`` deliberately misses
+        the numeric fast paths so ``True`` never lands in a numeric
+        column); constraint failures raise :class:`_CheckFail` with
+        the violated rule.
+        """
+        coercer = _COERCERS[spec.type]
+        if spec.type in (FieldType.STRING, FieldType.TEXT):
+            def convert(v):
+                return v if type(v) is str else coercer(v)
+        elif spec.type is FieldType.FLOAT:
+            def convert(v):
+                t = type(v)
+                if t is float:
+                    return v
+                if t is int or t is str:
+                    return float(v)
+                return coercer(v)
+        elif spec.type is FieldType.INTEGER:
+            def convert(v):
+                return v if type(v) is int else coercer(v)
+        elif spec.type is FieldType.BOOLEAN:
+            def convert(v):
+                return v if type(v) is bool else coercer(v)
+        else:
+            convert = coercer
+        allowed = frozenset(spec.allowed)
+        low, high = spec.min_value, spec.max_value
+        if not allowed and low is None and high is None:
+            return convert
+
+        def check(value, convert=convert, name=spec.name,
+                  allowed=allowed, canonical=tuple(spec.allowed),
+                  low=low, high=high):
+            typed = convert(value)
+            if allowed and typed not in allowed:
+                raise _CheckFail(
+                    "enum", f"field {name!r}: {typed!r} not in "
+                    f"allowed set {list(canonical)}", typed)
+            if (low is not None or high is not None) \
+                    and isinstance(typed, (int, float)) \
+                    and not isinstance(typed, bool):
+                if low is not None and typed < low:
+                    raise _CheckFail(
+                        "range", f"field {name!r}: {typed!r} below "
+                        f"minimum {low}", typed)
+                if high is not None and typed > high:
+                    raise _CheckFail(
+                        "range", f"field {name!r}: {typed!r} above "
+                        f"maximum {high}", typed)
+            return typed
+        return check
+
+    #: Normalization rules the code generator can inline as str methods
+    #: (or a wrapping call for the regex-backed ones).
+    _INLINE_METHODS = {
+        "trim": ".strip()",
+        "lower": ".lower()",
+        "upper": ".upper()",
+        "title": ".title()",
+        "strip_currency": ".translate(_cur).strip()",
+    }
+
+    def _compile_fast_row(self, contract: DataContract):
+        """Generate ``raw -> clean | None`` source for this contract.
+
+        The generated function accepts a row only when it can prove it
+        clean without allocating a single Violation: all declared
+        columns present and no others, values normalized/converted with
+        the same semantics as the interpreted checks, constraints
+        satisfied. Everything else returns ``None`` (or raises
+        ``ValueError``/``TypeError`` out of a conversion), and the
+        caller re-runs the row through :meth:`_check_row` for the full
+        diagnosis — the fast path can only ever *accept*, never decide
+        a row is bad, so the two paths cannot disagree on outcomes.
+        """
+        from .contract import _CURRENCY_TABLE
+
+        space = {"_fields": self._field_names, "_cur": _CURRENCY_TABLE}
+        lines = [
+            "def _fast_row(raw):",
+            "    if raw.keys() != _fields:",
+            "        return None",
+        ]
+        emit = lines.append
+        for i, spec in enumerate(contract.fields):
+            v = f"v{i}"
+            emit(f"    {v} = raw[{spec.name!r}]")
+            if spec.units:
+                space[f"_n{i}"] = spec.normalized
+                emit(f"    {v} = _n{i}({v})")
+            elif spec.normalize:
+                expr = v
+                for rule in spec.normalize:
+                    suffix = self._INLINE_METHODS.get(rule)
+                    if suffix is not None:
+                        expr += suffix
+                    else:
+                        space[f"_r{i}_{rule}"] = NORMALIZE_RULES[rule]
+                        expr = f"_r{i}_{rule}({expr})"
+                emit(f"    if type({v}) is str:")
+                emit(f"        {v} = {expr}")
+            if spec.required or not spec.nullable:
+                emit(f"    if {v} is None or {v} == '':")
+                emit("        return None")
+                pad = "    "
+            else:
+                emit(f"    if {v} is None or {v} == '':")
+                emit(f"        {v} = None")
+                emit("    else:")
+                pad = "        "
+            for line in self._fast_value_lines(i, spec, space):
+                emit(pad + line)
+        items = ", ".join(
+            f"{spec.name!r}: v{i}"
+            for i, spec in enumerate(contract.fields)
+        )
+        emit(f"    return {{{items}}}")
+        try:
+            exec("\n".join(lines), space)  # noqa: S102 - own codegen
+        except SyntaxError:       # pragma: no cover - contract too exotic
+            return None
+        return space["_fast_row"]
+
+    def _fast_value_lines(self, i: int, spec: FieldContract,
+                          space: dict) -> list:
+        """Convert-and-constrain source lines for one non-empty value."""
+        v = f"v{i}"
+        out = []
+        if spec.type in (FieldType.STRING, FieldType.TEXT):
+            # Non-string values bail to the interpreted path (which
+            # stringifies them) rather than risking a semantics skew.
+            out.append(f"if type({v}) is not str:")
+            out.append("    return None")
+        elif spec.type is FieldType.FLOAT:
+            out.append(f"if type({v}) is not float:")
+            out.append(f"    if type({v}) is int or type({v}) is str:")
+            out.append(f"        {v} = float({v})")
+            out.append("    else:")
+            out.append("        return None")
+        elif spec.type is FieldType.INTEGER:
+            out.append(f"if type({v}) is not int:")
+            out.append(f"    if type({v}) is str:")
+            out.append(f"        {v} = int({v})")
+            out.append("    else:")
+            out.append("        return None")
+        elif spec.type is FieldType.BOOLEAN:
+            out.append(f"if type({v}) is not bool:")
+            out.append("    return None")
+        else:                     # DATE / URL: regex-checked coercers
+            space[f"_c{i}"] = _COERCERS[spec.type]
+            out.append(f"{v} = _c{i}({v})")
+        if spec.allowed:
+            space[f"_a{i}"] = frozenset(spec.allowed)
+            out.append(f"if {v} not in _a{i}:")
+            out.append("    return None")
+        if spec.type in (FieldType.INTEGER, FieldType.FLOAT):
+            if spec.min_value is not None:
+                out.append(f"if {v} < {spec.min_value!r}:")
+                out.append("    return None")
+            if spec.max_value is not None:
+                out.append(f"if {v} > {spec.max_value!r}:")
+                out.append("    return None")
+        return out
+
+    # -- drift ---------------------------------------------------------------
+
+    def detect_drift(self, rows: list) -> DriftReport:
+        """Diff observed columns/types against the declared contract.
+
+        Values are classified *after* the contract's own normalization
+        (a ``"$49.99"`` price whose field strips currency is a float,
+        not drift), and each column's observed type is the majority
+        vote over the sample — one typo'd cell in a numeric column is
+        a row violation, not a retyped column.
+        """
+        declared = {f.name: f.type for f in self.contract.fields}
+        votes: dict[str, dict] = {}
+        for i, row in enumerate(rows):
+            if i >= self.drift_sample_limit:
+                break
+            normalized = self.contract.normalize_row(row)
+            for name, value in normalized.items():
+                counts = votes.setdefault(name, {})
+                if value is None or value == "":
+                    continue
+                kind = _classify_value(value)
+                counts[kind] = counts.get(kind, 0) + 1
+        seen: dict[str, FieldType | None] = {}
+        for name, counts in votes.items():
+            if not counts:
+                seen[name] = None
+                continue
+            # Deterministic majority: count desc, declared type wins
+            # ties, then enum declaration order.
+            order = list(FieldType)
+            seen[name] = max(
+                counts,
+                key=lambda k: (counts[k], k == declared.get(name),
+                               -order.index(k)),
+            )
+        added = tuple(sorted(set(seen) - set(declared)))
+        if self.contract.allow_extra_fields:
+            added = ()
+        missing = tuple(n for n in declared if n not in seen)
+        retyped = []
+        for name, declared_type in declared.items():
+            observed = seen.get(name)
+            if observed is None:
+                continue
+            compatible = _COMPATIBLE[declared_type]
+            if compatible is not None and observed not in compatible:
+                retyped.append((name, declared_type, observed))
+        return DriftReport(added, missing, tuple(retyped))
+
+    # -- row validation -------------------------------------------------------
+
+    def enforce(self, rows: list) -> EnforcementResult:
+        """Normalize, validate, and split one batch per the policy.
+
+        Under ``reject`` the caller is expected to raise on any
+        violation; under ``quarantine`` violating raw rows land in
+        ``result.quarantined``; under ``coerce`` safe casts are applied
+        first and only rows that *still* violate are quarantined.
+        """
+        result = EnforcementResult(drift=self.detect_drift(rows))
+        coerce = self.contract.policy == "coerce"
+        fast = self._fast_row
+        out = result.rows.append
+        for index, raw in enumerate(rows):
+            if fast is not None:
+                try:
+                    clean = fast(raw)
+                except (TypeError, ValueError):
+                    clean = None
+                if clean is not None:
+                    out(clean)
+                    continue
+            clean, row_violations, casts = self._check_row(
+                index, raw, coerce=coerce)
+            if row_violations:
+                result.violations.extend(row_violations)
+                result.quarantined.append((dict(raw), row_violations))
+            else:
+                result.rows.append(clean)
+                result.coerced += casts
+        return result
+
+    def _check_row(self, index: int, raw: dict, coerce: bool):
+        """One row → (clean_row, violations, coercion_count)."""
+        violations: list[Violation] = []
+        clean: dict = {}
+        casts = 0
+        get = raw.get
+        for name, spec, normalize, check in self._checks:
+            value = get(name)
+            if normalize is not None and value is not None:
+                value = normalize(value)
+            if value is None or value == "":
+                if spec.required or not spec.nullable:
+                    violations.append(Violation(
+                        index, name, "required",
+                        f"field {name!r} is required but empty",
+                    ))
+                else:
+                    clean[name] = None
+                continue
+            try:
+                clean[name] = check(value)
+            except _CheckFail as fail:
+                if coerce:
+                    typed, ok = self._safe_cast(spec, value)
+                    if ok:
+                        casts += 1
+                        clean[name] = typed
+                        violations.extend(
+                            self._constraints(index, spec, typed))
+                        continue
+                violations.append(Violation(
+                    index, name, fail.rule, fail.message, fail.value,
+                ))
+            except (TypeError, ValueError):
+                if coerce:
+                    typed, ok = self._safe_cast(spec, value)
+                    if ok:
+                        casts += 1
+                        clean[name] = typed
+                        violations.extend(
+                            self._constraints(index, spec, typed))
+                        continue
+                violations.append(Violation(
+                    index, name, "type",
+                    f"field {name!r}: cannot interpret {value!r} "
+                    f"as {spec.type.value}", value,
+                ))
+        if raw.keys() != self._field_names \
+                and not self.contract.allow_extra_fields:
+            for name in raw:
+                if name not in self._field_names:
+                    violations.append(Violation(
+                        index, name, "extra",
+                        f"field {name!r} is not in the contract",
+                        raw[name],
+                    ))
+        # Constraint violations on otherwise-typed rows still disqualify
+        # the row; drop the partial clean dict in that case.
+        return clean, violations, casts
+
+    def _safe_cast(self, spec: FieldContract, value):
+        """Lossless casts only: "1,299"→1299, "49.0"→49, enum casefold."""
+        text = str(value).strip().translate(_NUM_JUNK)
+        try:
+            if spec.type is FieldType.INTEGER:
+                number = float(text)
+                if number == int(number):
+                    return int(number), True
+            elif spec.type is FieldType.FLOAT:
+                return float(text), True
+        except ValueError:
+            pass
+        if spec.allowed:
+            folded = str(value).strip().casefold()
+            for canonical in spec.allowed:
+                if str(canonical).casefold() == folded:
+                    return canonical, True
+        return None, False
+
+    @staticmethod
+    def _constraints(index: int, spec: FieldContract, typed):
+        violations = []
+        if spec.allowed and typed not in spec.allowed:
+            violations.append(Violation(
+                index, spec.name, "enum",
+                f"field {spec.name!r}: {typed!r} not in allowed set "
+                f"{list(spec.allowed)}", typed,
+            ))
+        if isinstance(typed, (int, float)) \
+                and not isinstance(typed, bool):
+            if spec.min_value is not None and typed < spec.min_value:
+                violations.append(Violation(
+                    index, spec.name, "range",
+                    f"field {spec.name!r}: {typed!r} below minimum "
+                    f"{spec.min_value}", typed,
+                ))
+            if spec.max_value is not None and typed > spec.max_value:
+                violations.append(Violation(
+                    index, spec.name, "range",
+                    f"field {spec.name!r}: {typed!r} above maximum "
+                    f"{spec.max_value}", typed,
+                ))
+        return violations

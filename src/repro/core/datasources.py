@@ -96,6 +96,10 @@ class SourceResult:
     #: The provider served partial results (e.g. cluster shard loss or
     #: a deadline overrun inside the scatter-gather).
     degraded: bool = False
+    #: Provider-specific annotations; governed tables flag contract
+    #: staleness here (``{"stale": True, "staleness_ms": ...}``) so
+    #: applications can tell users the data behind an answer is old.
+    metadata: dict = field(default_factory=dict)
 
     @staticmethod
     def empty(source_id: str) -> "SourceResult":
@@ -155,6 +159,11 @@ class ProprietaryTableSource(DataSource):
         self.search_fields = tuple(search_fields)
         self._index: InvertedIndex | None = None
         self._index_fingerprint: tuple | None = None
+        #: Zero-arg callable returning contract metadata for this
+        #: table ({} when ungoverned); set by the platform when
+        #: contracts are enabled so stale feeds are flagged on every
+        #: result served from them.
+        self.contract_status = None
 
     def fields(self) -> list[str]:
         return self._table.schema.field_names()
@@ -246,7 +255,10 @@ class ProprietaryTableSource(DataSource):
                 score=round(score, 6),
                 fields=dict(record.values),
             ))
-        return SourceResult(self.source_id, tuple(items), len(scored))
+        metadata = (self.contract_status()
+                    if self.contract_status is not None else {})
+        return SourceResult(self.source_id, tuple(items), len(scored),
+                            metadata=metadata or {})
 
 
 class WebSearchSource(DataSource):

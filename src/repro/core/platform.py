@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.capability import CapabilityProfile
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ContractViolationError
 from repro.core.datasources import (
     AdSource,
     CustomerProfileSource,
@@ -42,6 +42,7 @@ from repro.core.runtime import (
 from repro.gateway.generations import GenerationRegistry, table_key
 from repro.ingest.crawler import Crawler, CrawlPolicy
 from repro.ingest.pipeline import DatasetIngestor, IngestReport
+from repro.ingest.refresh import RefreshScheduler
 from repro.ingest.rss import FeedPublisher
 from repro.ingest.transports import FtpServer, HttpUploadChannel
 from repro.searchengine.engine import build_engine
@@ -85,7 +86,8 @@ class Symphony:
                  gateway=None,
                  controlplane=None,
                  slo=None,
-                 durability=None) -> None:
+                 durability=None,
+                 contracts=None) -> None:
         self.clock = clock or SimClock()
         # Opt-in observability: pass an existing Telemetry or True to
         # build one on the platform clock; None/False disables it with
@@ -97,7 +99,10 @@ class Symphony:
         if slo is True:
             from repro.slo import SLOConfig
             slo = SLOConfig()
-        if slo is not None and not (telemetry and telemetry.enabled):
+        # Contracts emit drift/violation/staleness events and drive a
+        # freshness budget, so they imply telemetry too.
+        if (slo is not None or contracts) \
+                and not (telemetry and telemetry.enabled):
             telemetry = Telemetry(clock=self.clock)
         self.telemetry = telemetry or Telemetry.disabled()
         # Opt-in resilience: pass a ResilienceConfig or True for the
@@ -115,6 +120,22 @@ class Symphony:
         else:
             from repro.slo import NULL_SLO
             self.slo = NULL_SLO
+        # Opt-in data contracts: governed ingest with typed validation,
+        # drift detection, quarantine, and freshness SLAs. Pass True
+        # for the defaults or a ContractsConfig to tune them.
+        from repro.contracts import NULL_CONTRACTS
+        self.contracts = NULL_CONTRACTS
+        if contracts:
+            from repro.contracts import ContractManager, ContractsConfig
+            self.contracts = ContractManager(
+                self.clock,
+                telemetry=self.telemetry,
+                config=(contracts
+                        if isinstance(contracts, ContractsConfig)
+                        else None),
+            )
+            if self.slo.enabled:
+                self.contracts.attach_slo(self.slo)
         self.web = web if web is not None else WebGenerator(
             web_spec or WebSpec()
         ).build()
@@ -178,6 +199,17 @@ class Symphony:
                     else None),
         )
         self.generations.subscribe(self._on_generation_bump)
+        # The platform-owned refresh calendar: feeds registered here
+        # bump generations on change, emit refresh events, and keep
+        # contracted tables' freshness SLAs judged every pass.
+        self.refresh = RefreshScheduler(
+            self.clock,
+            generations=self.generations,
+            telemetry=(self.telemetry if self.telemetry.enabled
+                       else None),
+            contracts=(self.contracts if self.contracts.enabled
+                       else None),
+        )
         # Opt-in serving gateway: pass a GatewayConfig or True for the
         # defaults — admission control, weighted fair queueing, request
         # coalescing, and a generation-stamped response cache.
@@ -199,6 +231,8 @@ class Symphony:
                     self.resilience.deadline_ms
                     if self.resilience is not None else 0.0
                 ),
+                contracts=(self.contracts if self.contracts.enabled
+                           else None),
             )
         # Opt-in control plane: online resharding and telemetry-driven
         # autoscaling over a clustered engine. Pass True for default
@@ -355,6 +389,8 @@ class Symphony:
             tenant,
             telemetry=self.telemetry if self.telemetry.enabled else None,
             generations=self.generations,
+            contracts=(self.contracts if self.contracts.enabled
+                       else None),
         )
 
     def upload_http(self, account: DesignerAccount, filename: str,
@@ -395,6 +431,81 @@ class Symphony:
             result.rows(), table_name
         )
 
+    # -- data contracts (repro.contracts) -----------------------------------------
+
+    def register_contract(self, account: DesignerAccount, contract):
+        """Declare the :class:`~repro.contracts.DataContract` governing
+        one of this designer's tables; every later load is enforced
+        against it. Requires ``Symphony(contracts=...)``.
+
+        Re-declaring over an existing table may *add* columns (the
+        table's schema evolves additively on the next load) but not
+        retype ones already stored — that fails here, upfront, rather
+        than mid-batch against the storage layer.
+        """
+        tenant = self._authorized_tenant(account)
+        if self.contracts.enabled and tenant.has_table(contract.table):
+            stored = tenant.table(contract.table).schema
+            for spec in contract.schema().fields:
+                if stored.has_field(spec.name) \
+                        and stored.spec(spec.name).type is not spec.type:
+                    raise ConfigurationError(
+                        f"contract v{contract.version} retypes column "
+                        f"{spec.name!r} of existing table "
+                        f"{contract.table!r} "
+                        f"({stored.spec(spec.name).type.value} -> "
+                        f"{spec.type.value}); schema evolution is "
+                        f"additive only"
+                    )
+        return self.contracts.register(tenant.tenant_id, contract)
+
+    def contract_report(self, tenant_id: str | None = None) -> str:
+        """Human-readable contract status (violations, drift,
+        quarantine depth, freshness), optionally for one tenant."""
+        return self.contracts.report(tenant_id)
+
+    def contract_status(self, tenant_id: str | None = None) -> dict:
+        """Structured contract status, optionally for one tenant."""
+        return self.contracts.status(tenant_id)
+
+    def replay_quarantine(self, account: DesignerAccount,
+                          table_name: str) -> IngestReport | None:
+        """Re-ingest a table's quarantined rows under its *current*
+        contract (typically after the designer updated it).
+
+        The quarantine is drained first, then rows flow through the
+        normal enforced ingest path — rows that still violate land
+        back in quarantine exactly once, making replay idempotent.
+        Returns ``None`` when the quarantine was empty.
+        """
+        tenant = self._authorized_tenant(account)
+        entries = self.contracts.drain_quarantine(
+            tenant.tenant_id, table_name)
+        if not entries:
+            return None
+        rows = [dict(entry.row) for entry in entries]
+        try:
+            report = self._ingestor(tenant).ingest_rows(
+                rows, table_name)
+        except ContractViolationError:
+            # A reject-policy contract failed the whole batch: put the
+            # drained rows back so nothing is lost.
+            now = self.clock.now_ms
+            for entry in entries:
+                self.contracts.quarantine.add(
+                    tenant.tenant_id, table_name, entry.row,
+                    entry.violations, now, source="replay",
+                )
+            raise
+        if self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "contract.replay", tenant=tenant.tenant_id,
+                table=table_name, replayed=len(rows),
+                loaded=report.inserted + report.updated,
+                requarantined=report.quarantined,
+            )
+        return report
+
     # -- data sources (§II-A Built-in Services / Data Integration) ----------------
 
     def add_proprietary_source(self, account: DesignerAccount,
@@ -410,6 +521,11 @@ class Symphony:
             search_fields=tuple(search_fields),
         )
         source.tenant_id = tenant.tenant_id  # for export/import
+        if self.contracts.enabled:
+            source.contract_status = (
+                lambda tid=tenant.tenant_id, tbl=table_name:
+                self.contracts.source_status(tid, tbl)
+            )
         return self.sources.add(source)
 
     def add_web_source(self, name: str, vertical: str = "web",

@@ -138,6 +138,24 @@ class IngestError(ReproError):
     """A data upload could not be parsed or normalized."""
 
 
+class ContractViolationError(IngestError):
+    """Rows broke their table's data contract under the ``reject`` policy.
+
+    Carries the structured ``violations`` (sequence of
+    :class:`repro.contracts.Violation`) so callers can report exactly
+    which rows and fields failed instead of re-parsing the message.
+    """
+
+    def __init__(self, table: str, violations=()) -> None:
+        self.table = table
+        self.violations = tuple(violations)
+        super().__init__(
+            f"contract violated for table {table!r}: "
+            f"{len(self.violations)} violation"
+            f"{'s' if len(self.violations) != 1 else ''}"
+        )
+
+
 class StorageError(ReproError):
     """A storage-layer invariant was violated."""
 

@@ -79,7 +79,8 @@ class Gateway:
     def __init__(self, runtime, apps, sources, clock,
                  generations, telemetry: Telemetry | None = None,
                  config: GatewayConfig | None = None,
-                 default_deadline_ms: float = 0.0) -> None:
+                 default_deadline_ms: float = 0.0,
+                 contracts=None) -> None:
         self._runtime = runtime
         self._apps = apps
         self._sources = sources
@@ -93,6 +94,10 @@ class Gateway:
         self._metrics = self.telemetry.metrics
         self._events = self.telemetry.events
         self._default_deadline_ms = default_deadline_ms
+        #: A :class:`~repro.contracts.ContractManager` (or ``None``):
+        #: lets API consumers pull the per-tenant governance report
+        #: from the same front door they query through.
+        self._contracts = contracts
         self.admission = AdmissionController(
             clock, self.config.default_policy, self.config.policies
         )
@@ -377,6 +382,15 @@ class Gateway:
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
         return stats
+
+    def contract_status(self, tenant_id: str | None = None) -> dict:
+        """Per-tenant data-governance report: violations, drift,
+        quarantine depth, and freshness for every contracted table.
+        Empty when contracts are not enabled on the platform."""
+        if self._contracts is None:
+            return {"tables": [], "freshness_budget": {},
+                    "freshness_alerting": False, "stale_feeds": []}
+        return self._contracts.status(tenant_id)
 
     def describe(self) -> str:
         stats = self.stats()

@@ -35,6 +35,11 @@ class IngestReport:
     unchanged: bool = False
     format: str = ""
     errors: list = field(default_factory=list)
+    # -- contract enforcement (zero when the table is ungoverned) ------
+    violations: int = 0
+    quarantined: int = 0
+    coerced: int = 0
+    drift: bool = False
 
 
 _EXTENSION_FORMATS = {
@@ -62,13 +67,20 @@ _CONTENT_TYPE_FORMATS = {
 
 
 def detect_format(filename: str, content_type: str = "") -> str:
-    """Choose a reader from the filename extension, then content type."""
+    """Choose a reader from the filename extension, then content type.
+
+    The content type is matched on its bare media type — parameters
+    like ``"text/csv; charset=utf-8"`` are stripped — so a known
+    explicit content type wins whenever the extension is unknown or
+    missing.
+    """
     name = filename.lower()
     for extension, fmt in _EXTENSION_FORMATS.items():
         if name.endswith(extension):
             return fmt
-    if content_type in _CONTENT_TYPE_FORMATS:
-        return _CONTENT_TYPE_FORMATS[content_type]
+    media_type = content_type.split(";", 1)[0].strip().lower()
+    if media_type in _CONTENT_TYPE_FORMATS:
+        return _CONTENT_TYPE_FORMATS[media_type]
     raise IngestError(
         f"cannot determine format of {filename!r} "
         f"(content type {content_type!r})"
@@ -106,10 +118,55 @@ class DatasetIngestor:
     and runtime result-cache entries computed over the old rows.
     """
 
-    def __init__(self, tenant, telemetry=None, generations=None) -> None:
+    def __init__(self, tenant, telemetry=None, generations=None,
+                 contracts=None) -> None:
         self._tenant = tenant
         self._telemetry = telemetry
         self._generations = generations
+        #: A :class:`~repro.contracts.ContractManager` (or the null
+        #: twin / ``None``): every batch for a contracted table is
+        #: enforced before it touches storage.
+        self._contracts = contracts
+
+    def _enforce(self, rows, table_name: str, source: str):
+        """Contract-check one batch; ``None`` means ungoverned."""
+        if self._contracts is None:
+            return None
+        return self._contracts.apply(
+            self._tenant.tenant_id, table_name, rows, source=source,
+        )
+
+    def _mark_refreshed(self, table_name: str) -> None:
+        if self._contracts is not None:
+            self._contracts.mark_refreshed(
+                self._tenant.tenant_id, table_name)
+
+    def _evolve_table(self, table_name: str, contract) -> None:
+        """Widen an existing table to its (re-declared) contract.
+
+        A contract update that *adds* columns — the standard remedy
+        after added-column drift — must be loadable into the table
+        created under the previous version; evolution is additive
+        only, so old rows are untouched.
+        """
+        if contract is None or not self._tenant.has_table(table_name):
+            return
+        table = self._tenant.table(table_name)
+        missing = tuple(
+            spec for spec in contract.schema().fields
+            if not table.schema.has_field(spec.name)
+        )
+        if missing:
+            table.add_fields(missing)
+
+    @staticmethod
+    def _note_enforcement(report: IngestReport, result) -> None:
+        if result is None:
+            return
+        report.violations = len(result.violations)
+        report.quarantined = len(result.quarantined)
+        report.coerced = result.coerced
+        report.drift = result.drift.drifted
 
     def _bump_generation(self, report: IngestReport) -> None:
         if self._generations is None or report.unchanged:
@@ -174,6 +231,7 @@ class DatasetIngestor:
             )
         self._bump_generation(report)
         self._record(report, source="upload")
+        self._mark_refreshed(table_name)
         return report
 
     def _ingest_payload(self, payload, table_name: str,
@@ -189,23 +247,41 @@ class DatasetIngestor:
         rows, detected = rows_from_payload(payload, fmt=fmt, sheet=sheet)
         report = IngestReport(table_name=table_name, format=detected)
 
+        enforcement = self._enforce(rows, table_name, source="upload")
+        contract = (None if self._contracts is None
+                    else self._contracts.contract_for(
+                        self._tenant.tenant_id, table_name))
+        if enforcement is not None:
+            rows = enforcement.rows
+            self._note_enforcement(report, enforcement)
+            if schema is None:
+                schema = contract.schema()
+            if key_field is None and contract.key_field:
+                key_field = contract.key_field
+            self._evolve_table(table_name, contract)
+
+        validated = enforcement is not None
         if not self._tenant.has_table(table_name):
             table_schema = schema or infer_schema(rows)
             self._tenant.create_table(
                 table_name, table_schema, indexed_fields
             )
-            report.inserted = self._tenant.insert_rows(table_name, rows)
+            report.inserted = self._tenant.insert_rows(
+                table_name, rows, validated=validated)
         elif key_field is not None:
             table = self._tenant.table(table_name)
+            upsert = (table.upsert_validated_by if validated
+                      else table.upsert_by)
             for row in rows:
                 before = len(table)
-                table.upsert_by(key_field, row)
+                upsert(key_field, row)
                 if len(table) > before:
                     report.inserted += 1
                 else:
                     report.updated += 1
         else:
-            report.inserted = self._tenant.insert_rows(table_name, rows)
+            report.inserted = self._tenant.insert_rows(
+                table_name, rows, validated=validated)
 
         self._tenant.put_blob(
             blob_key, payload.data, payload.content_type,
@@ -215,17 +291,53 @@ class DatasetIngestor:
 
     def ingest_rows(self, rows: list[dict], table_name: str,
                     schema: Schema | None = None,
-                    indexed_fields: tuple = ()) -> IngestReport:
-        """Load already-parsed rows (e.g. a crawl result) into a table."""
+                    indexed_fields: tuple = (),
+                    key_field: str | None = None) -> IngestReport:
+        """Load already-parsed rows (e.g. a crawl result) into a table.
+
+        With a ``key_field`` (explicit or from the table's contract)
+        rows are upserted instead of inserted, which makes replaying
+        quarantined rows idempotent.
+        """
         if not rows:
             raise IngestError("no rows to ingest")
         report = IngestReport(table_name=table_name, format="rows")
+
+        enforcement = self._enforce(rows, table_name, source="rows")
+        if enforcement is not None:
+            contract = self._contracts.contract_for(
+                self._tenant.tenant_id, table_name)
+            rows = enforcement.rows
+            self._note_enforcement(report, enforcement)
+            if schema is None:
+                schema = contract.schema()
+            if key_field is None and contract.key_field:
+                key_field = contract.key_field
+            self._evolve_table(table_name, contract)
+
+        validated = enforcement is not None
+        created = False
         if not self._tenant.has_table(table_name):
             table_schema = schema or infer_schema(rows)
             self._tenant.create_table(
                 table_name, table_schema, indexed_fields
             )
-        report.inserted = self._tenant.insert_rows(table_name, rows)
+            created = True
+        if key_field is not None and not created:
+            table = self._tenant.table(table_name)
+            upsert = (table.upsert_validated_by if validated
+                      else table.upsert_by)
+            for row in rows:
+                before = len(table)
+                upsert(key_field, row)
+                if len(table) > before:
+                    report.inserted += 1
+                else:
+                    report.updated += 1
+        else:
+            report.inserted = self._tenant.insert_rows(
+                table_name, rows, validated=validated)
         self._bump_generation(report)
         self._record(report, source="rows")
+        self._mark_refreshed(table_name)
         return report

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DuplicateError, NotFoundError, ReproError
+from repro.errors import DuplicateError, NotFoundError
 
 __all__ = ["RefreshOutcome", "ScheduledFeed", "RefreshScheduler"]
 
@@ -45,10 +45,17 @@ class ScheduledFeed:
 class RefreshScheduler:
     """Owns the refresh calendar for one tenant's feeds."""
 
-    def __init__(self, clock, generations=None) -> None:
+    def __init__(self, clock, generations=None, telemetry=None,
+                 contracts=None) -> None:
         self._clock = clock
         self._feeds: dict[str, ScheduledFeed] = {}
         self._generations = generations
+        self._telemetry = telemetry
+        #: A :class:`~repro.contracts.ContractManager` (or ``None``):
+        #: freshness SLAs are judged after every scheduler pass, so a
+        #: feed that stops (or keeps failing) goes stale on the same
+        #: clock that drives its refreshes.
+        self._contracts = contracts
 
     def register(self, feed_id: str, interval_ms: int, action,
                  generation_key: str = "") -> None:
@@ -83,19 +90,30 @@ class RefreshScheduler:
                       if feed.due(now))
 
     def run_due(self) -> list[RefreshOutcome]:
-        """Run every due feed; failures are isolated per feed."""
+        """Run every due feed; failures are isolated per feed.
+
+        *Any* exception from a feed action is contained — a feed
+        raising ``KeyError`` must not abort the whole pass any more
+        than an :class:`~repro.errors.IngestError` does. Success resets
+        the feed's ``failures`` streak; every run emits a
+        ``refresh.complete`` / ``refresh.failed`` event. After the
+        pass, contracted feeds get their freshness SLAs re-judged.
+        """
         outcomes = []
         for feed_id in self.due_feeds():
             feed = self._feeds[feed_id]
             feed.last_run_ms = self._clock.now_ms
             try:
                 report = feed.action()
-            except ReproError as exc:
+            except Exception as exc:
                 feed.failures += 1
+                self._emit("refresh.failed", feed,
+                           error=str(exc), failures=feed.failures)
                 outcomes.append(RefreshOutcome(
                     feed_id=feed_id, ran=True, error=str(exc),
                 ))
                 continue
+            feed.failures = 0
             outcome = RefreshOutcome(
                 feed_id=feed_id,
                 ran=True,
@@ -107,8 +125,19 @@ class RefreshScheduler:
                     and not outcome.unchanged
                     and (outcome.inserted or outcome.updated)):
                 self._generations.bump(feed.generation_key)
+            self._emit("refresh.complete", feed,
+                       unchanged=outcome.unchanged,
+                       inserted=outcome.inserted,
+                       updated=outcome.updated)
             outcomes.append(outcome)
+        if self._contracts is not None:
+            self._contracts.check_freshness()
         return outcomes
+
+    def _emit(self, kind: str, feed: ScheduledFeed, **fields) -> None:
+        if self._telemetry is None or not self._telemetry.enabled:
+            return
+        self._telemetry.events.emit(kind, feed=feed.feed_id, **fields)
 
     def run_all_for(self, duration_ms: int,
                     tick_ms: int | None = None) -> list:

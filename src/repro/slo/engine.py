@@ -49,6 +49,10 @@ class SLOEngine:
             ))
             for slo in self.slos
         ]
+        # Externally-driven objectives (e.g. contract freshness) are
+        # reported alongside the query-judged ones but never fed by
+        # observe() — their owners record into the budget themselves.
+        self._external: list = []
         self.recorder = FlightRecorder(self.config.recorder_capacity)
         self._latency = telemetry.metrics.histogram(
             "slo_query_latency_ms")
@@ -134,22 +138,39 @@ class SLOEngine:
             if start_ms <= e.timestamp_ms <= end_ms
         )
 
+    # -- external objectives --------------------------------------------------
+
+    def adopt_tracker(self, slo, budget, alerter) -> None:
+        """Report an externally-driven objective in status/alerts.
+
+        The owner keeps recording into ``budget`` and calling
+        ``alerter.check`` itself; the engine only folds the tracker
+        into :meth:`burning`, :meth:`alerts`, :meth:`status`, and
+        :meth:`report` so operators see one consolidated view.
+        """
+        self._external.append((slo, budget, alerter))
+
+    def _all_trackers(self) -> list:
+        return self._trackers + self._external
+
     # -- alert state ----------------------------------------------------------
 
     def burning(self) -> bool:
         """Is any burn-rate alert currently firing?"""
-        return any(alerter.active for __, __, alerter in self._trackers)
+        return any(alerter.active
+                   for __, __, alerter in self._all_trackers())
 
     def active_alerts(self) -> list[dict]:
         return [
             {"slo": slo.name, "tenant": slo.tenant}
-            for slo, __, alerter in self._trackers if alerter.active
+            for slo, __, alerter in self._all_trackers()
+            if alerter.active
         ]
 
     def alerts(self) -> list[dict]:
         """Every alert transition, ordered by time then SLO name."""
         out = []
-        for slo, __, alerter in self._trackers:
+        for slo, __, alerter in self._all_trackers():
             for alert in alerter.alerts:
                 out.append(dict(alert, slo=slo.name,
                                 tenant=slo.tenant))
@@ -190,7 +211,7 @@ class SLOEngine:
             "objectives": [
                 dict(budget.status(now), kind=slo.kind,
                      alerting=alerter.active)
-                for slo, budget, alerter in self._trackers
+                for slo, budget, alerter in self._all_trackers()
             ],
             "alerts": self.alerts(),
             "recorder": self.recorder.stats.as_dict(),
@@ -252,6 +273,9 @@ class NullSLOEngine:
     slos: tuple = ()
 
     def observe(self, **kwargs) -> None:
+        return None
+
+    def adopt_tracker(self, slo, budget, alerter) -> None:
         return None
 
     def burning(self) -> bool:

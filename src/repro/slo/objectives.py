@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["SLODefinition", "SLOConfig", "ErrorBudget"]
 
-_KINDS = ("latency", "availability", "completeness")
+_KINDS = ("latency", "availability", "completeness", "freshness")
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,11 @@ class SLODefinition:
     """One objective over the query stream."""
 
     name: str
-    kind: str                       # latency | availability | completeness
+    #: latency | availability | completeness | freshness.  The first
+    #: three are judged per query by the engine; ``freshness`` budgets
+    #: are driven externally by :mod:`repro.contracts` — one
+    #: observation per feed per scheduler freshness check.
+    kind: str
     objective: float = 0.99         # target good fraction, in (0, 1)
     tenant: str = ""                # "" = platform-wide; else an app id
     #: ``latency`` kind: a query is good when it finishes within this
@@ -75,7 +79,7 @@ class SLODefinition:
             return False
         if self.kind == "latency":
             return latency_ms <= self.latency_threshold_ms
-        if self.kind == "availability":
+        if self.kind in ("availability", "freshness"):
             return not degraded
         return completeness >= self.completeness_floor
 

@@ -273,7 +273,24 @@ class RecordTable:
         return iter(self._records.values())
 
     def insert(self, row: dict, record_id: str | None = None) -> Record:
-        values = self.schema.coerce_row(row)
+        return self._insert_values(self.schema.coerce_row(row),
+                                   record_id)
+
+    def insert_validated(self, values: dict,
+                         record_id: str | None = None) -> Record:
+        """Insert a row already coerced to this table's schema.
+
+        The trust boundary for skipping re-validation: the caller
+        (e.g. a contract enforcer whose declared schema *is* this
+        table's schema) has produced ``values`` with exactly the
+        schema's fields and types, and hands over ownership of the
+        dict — it must not mutate it afterwards. Governed bulk ingest
+        would otherwise pay for every cell twice (plus a copy).
+        """
+        return self._insert_values(values, record_id)
+
+    def _insert_values(self, values: dict,
+                       record_id: str | None = None) -> Record:
         if record_id is None:
             record_id = f"{self.name}:{self._next_serial}"
             self._next_serial += 1
@@ -317,17 +334,52 @@ class RecordTable:
 
     def upsert_by(self, key_field: str, row: dict) -> Record:
         """Insert, or update the single record whose ``key_field`` matches."""
-        values = self.schema.coerce_row(row)
+        return self._upsert_values(key_field,
+                                   self.schema.coerce_row(row))
+
+    def upsert_validated_by(self, key_field: str,
+                            values: dict) -> Record:
+        """:meth:`upsert_by` for rows already coerced to this schema
+        (same trust boundary — and ownership handoff — as
+        :meth:`insert_validated`)."""
+        return self._upsert_values(key_field, values)
+
+    def _upsert_values(self, key_field: str, values: dict) -> Record:
         key = values.get(key_field)
         existing = self.find(key_field, key)
         if not existing:
-            return self.insert(row)
+            return self._insert_values(values)
         if len(existing) > 1:
             raise DuplicateError(
                 f"upsert key {key_field}={key!r} matches "
                 f"{len(existing)} records"
             )
-        return self.update(existing[0].record_id, values)
+        # Full-row replacement: ``values`` carries every schema field,
+        # so this matches update()'s merge without re-coercing.
+        current = existing[0]
+        self._unindex_record(current)
+        updated = Record(current.record_id, values,
+                         version=current.version + 1)
+        self._records[current.record_id] = updated
+        self._index_record(updated)
+        return updated
+
+    def add_fields(self, specs: tuple) -> None:
+        """Additive schema evolution: append new columns to the table.
+
+        Existing records are untouched — the new columns simply read
+        as absent until rows carrying them arrive. Only *new* names
+        are accepted; retyping or dropping a column is not evolution,
+        it is a different table.
+        """
+        for spec in specs:
+            if self.schema.has_field(spec.name):
+                raise ValidationError(
+                    f"field {spec.name!r} already in schema for "
+                    f"table {self.name!r}"
+                )
+        if specs:
+            self.schema = Schema(self.schema.fields + tuple(specs))
 
     # -- queries -----------------------------------------------------------------
 
@@ -388,6 +440,8 @@ class RecordTable:
         return str(value).lower() if value is not None else None
 
     def _index_record(self, record: Record) -> None:
+        if not self._indexes:
+            return
         for field_name, index in self._indexes.items():
             key = self._key(record.values.get(field_name))
             index.setdefault(key, set()).add(record.record_id)

@@ -99,14 +99,26 @@ class Tenant:
     def has_table(self, name: str) -> bool:
         return name in self._tables
 
-    def insert_rows(self, table_name: str, rows) -> int:
-        """Bulk insert with quota enforcement; returns the inserted count."""
+    def insert_rows(self, table_name: str, rows,
+                    validated: bool = False) -> int:
+        """Bulk insert with quota enforcement; returns the inserted count.
+
+        ``validated`` marks rows already coerced to the table's schema
+        (a contract enforcer's output), skipping re-coercion per row.
+        """
         table = self.table(table_name)
+        insert = table.insert_validated if validated else table.insert
         inserted = 0
+        count = len(table)
+        limit = self.quota.max_records_per_table
         for row in rows:
-            self.quota.check_records(len(table) + 1)
-            table.insert(row)
+            if count >= limit:
+                # Partial inserts up to the quota are kept; this raises
+                # with the canonical quota message.
+                self.quota.check_records(count + 1)
+            insert(row)
             inserted += 1
+            count += 1
         return inserted
 
     def put_blob(self, key: str, data: bytes, content_type: str,

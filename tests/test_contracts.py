@@ -1,0 +1,410 @@
+"""Tests for repro.contracts: declarations, enforcement, governance.
+
+Covers the contract model (field constraints, normalization rules,
+serialization), the enforcer (policy handling, the code-generated fast
+path agreeing with the interpreted path, drift majority voting), the
+quarantine/replay loop through the platform facade (including additive
+schema evolution and the retype guard), freshness SLA wiring, and the
+null path staying inert on an ungoverned platform.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts import (
+    NULL_CONTRACTS,
+    ContractEnforcer,
+    DataContract,
+    FieldContract,
+    FreshnessSLA,
+    normalize_value,
+)
+from repro.contracts.scenario import run_drifted_feed
+from repro.core.platform import Symphony
+from repro.errors import (
+    ConfigurationError,
+    ContractViolationError,
+    ValidationError,
+)
+from repro.storage.records import FieldType
+from repro.telemetry import Telemetry
+from repro.util import SimClock
+
+
+def products_contract(policy="quarantine", **overrides) -> DataContract:
+    keys = dict(
+        table="products",
+        fields=(
+            FieldContract("sku", FieldType.STRING, required=True,
+                          normalize=("trim", "upper")),
+            FieldContract("title", FieldType.STRING, required=True,
+                          normalize=("collapse_ws",)),
+            FieldContract("price", FieldType.FLOAT, min_value=0.0,
+                          normalize=("strip_currency",)),
+            FieldContract("platform", FieldType.STRING,
+                          allowed=("PC", "Xbox", "PS3")),
+        ),
+        key_field="sku",
+        policy=policy,
+    )
+    keys.update(overrides)
+    return DataContract(**keys)
+
+
+def clean_rows(n=4) -> list:
+    return [
+        {"sku": f" sku-{i} ", "title": f"Game  {i}",
+         "price": f"${10 + i}.99", "platform": ("PC", "Xbox", "PS3")[i % 3]}
+        for i in range(n)
+    ]
+
+
+class TestContractModel:
+    def test_normalize_rules_chain(self):
+        spec = FieldContract("name", normalize=("trim", "upper"))
+        assert spec.normalized("  acme  ") == "ACME"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            FieldContract("name", normalize=("shout",))
+
+    def test_unit_normalization(self):
+        value = normalize_value("1.2 kg", ("trim",), {"kg": 1000, "g": 1})
+        assert value == 1200
+
+    def test_non_string_passes_through(self):
+        assert normalize_value(7, ("upper",)) == 7
+        assert normalize_value(None, ("upper",)) is None
+
+    def test_contract_needs_fields(self):
+        with pytest.raises(ValidationError):
+            DataContract(table="t", fields=())
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValidationError):
+            DataContract(table="t", fields=(
+                FieldContract("a"), FieldContract("a")))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            products_contract(policy="shrug")
+
+    def test_key_field_must_be_declared(self):
+        with pytest.raises(ValidationError):
+            products_contract(key_field="upc")
+
+    def test_canonical_key_normalizes(self):
+        contract = products_contract()
+        assert contract.canonical_key({"sku": "  abc-1 "}) == "ABC-1"
+
+    def test_schema_mirrors_fields(self):
+        schema = products_contract().schema()
+        assert schema.field_names() == ["sku", "title", "price",
+                                        "platform"]
+        assert schema.spec("price").type is FieldType.FLOAT
+
+    def test_roundtrip_serialization(self):
+        contract = products_contract(freshness=FreshnessSLA(25_000))
+        again = DataContract.from_dict(contract.to_dict())
+        assert again == contract
+
+    def test_freshness_sla_validation(self):
+        with pytest.raises(ValidationError):
+            FreshnessSLA(0)
+        with pytest.raises(ValidationError):
+            FreshnessSLA(1000, objective=1.5)
+
+
+class TestEnforcer:
+    def enforcer(self, **overrides) -> ContractEnforcer:
+        return ContractEnforcer(products_contract(**overrides))
+
+    def test_clean_batch_normalized_and_typed(self):
+        result = self.enforcer().enforce(clean_rows())
+        assert not result.violations
+        first = result.rows[0]
+        assert first == {"sku": "SKU-0", "title": "Game 0",
+                         "price": 10.99, "platform": "PC"}
+        assert isinstance(first["price"], float)
+
+    def test_every_violation_rule_fires(self):
+        rows = [
+            {"sku": "", "title": "A", "price": "$1", "platform": "PC"},
+            {"sku": "s1", "title": "B", "price": "free", "platform": "PC"},
+            {"sku": "s2", "title": "C", "price": "-4", "platform": "PC"},
+            {"sku": "s3", "title": "D", "price": "$1", "platform": "Wii"},
+            {"sku": "s4", "title": "E", "price": "$1", "platform": "PC",
+             "rating": 5},
+        ]
+        result = self.enforcer().enforce(rows)
+        rules = {v.rule for v in result.violations}
+        assert rules == {"required", "type", "range", "enum", "extra"}
+        assert len(result.quarantined) == 5
+        assert not result.rows
+
+    def test_nullable_empty_value_loads_as_none(self):
+        row = {"sku": "s", "title": "T", "price": "", "platform": "PC"}
+        result = self.enforcer().enforce([row])
+        assert not result.violations
+        assert result.rows[0]["price"] is None
+
+    def test_fast_path_agrees_with_interpreted_path(self):
+        """The code-generated validator may only ever *accept* rows the
+        interpreted checks would accept, with identical output."""
+        enforcer = self.enforcer()
+        assert enforcer._fast_row is not None
+        samples = []
+        for sku in (" a ", "", None, 7):
+            for price in ("$5", "oops", -1, 3.5, None, True):
+                for platform in ("PC", "pc", None):
+                    samples.append({"sku": sku, "title": "t",
+                                    "price": price,
+                                    "platform": platform})
+        accepted = 0
+        for row in samples:
+            try:
+                fast = enforcer._fast_row(dict(row))
+            except (TypeError, ValueError):
+                fast = None
+            clean, violations, _ = enforcer._check_row(
+                0, row, coerce=False)
+            if fast is not None:
+                assert not violations, row
+                assert fast == clean, row
+                accepted += 1
+        assert accepted > 0
+
+    def test_coerce_policy_counts_safe_casts(self):
+        rows = [{"sku": "s", "title": "T", "price": "1,299",
+                 "platform": "pc"}]
+        result = self.enforcer(policy="coerce").enforce(rows)
+        assert not result.violations
+        # "1,299" is fixed by strip_currency *normalization* (not a
+        # cast); only the enum casefold counts as a coercion.
+        assert result.rows[0]["price"] == 1299.0
+        assert result.rows[0]["platform"] == "PC"
+        assert result.coerced == 1
+
+    def test_coerce_policy_casts_float_shaped_integers(self):
+        contract = DataContract(table="stock", fields=(
+            FieldContract("sku", FieldType.STRING, required=True),
+            FieldContract("count", FieldType.INTEGER),
+        ), policy="coerce")
+        result = ContractEnforcer(contract).enforce(
+            [{"sku": "a", "count": "49.0"},
+             {"sku": "b", "count": "49.5"}])
+        assert result.rows[0]["count"] == 49
+        assert result.coerced == 1
+        assert [v.rule for v in result.violations] == ["type"]
+
+    def test_allow_extra_fields_drops_silently(self):
+        rows = [{"sku": "s", "title": "T", "price": "$2",
+                 "platform": "PC", "rating": 5}]
+        result = self.enforcer(allow_extra_fields=True).enforce(rows)
+        assert not result.violations
+        assert not result.drift.drifted
+        assert "rating" not in result.rows[0]
+
+
+class TestDriftDetection:
+    def detect(self, rows, **overrides):
+        return ContractEnforcer(
+            products_contract(**overrides)).detect_drift(rows)
+
+    def test_added_column(self):
+        rows = [dict(r, rating="5") for r in clean_rows()]
+        drift = self.detect(rows)
+        assert drift.added == ("rating",)
+
+    def test_missing_column(self):
+        rows = [{"sku": "s", "title": "T"} for __ in range(3)]
+        drift = self.detect(rows)
+        assert "price" in drift.missing and "platform" in drift.missing
+
+    def test_retype_needs_majority(self):
+        rows = clean_rows(4)
+        rows[0]["price"] = "call us"          # one typo: not drift
+        assert not self.detect(rows).retyped
+        for row in rows[:3]:                  # majority strings: drift
+            row["price"] = "call us"
+        retyped = self.detect(rows).retyped
+        assert [name for name, __, __ in retyped] == ["price"]
+
+    def test_normalization_applies_before_classification(self):
+        # "$49.99" classifies as FLOAT once strip_currency runs, so a
+        # currency-formatted feed is not retype drift.
+        assert not self.detect(clean_rows()).drifted
+
+
+class TestGovernedPlatform:
+    @pytest.fixture()
+    def governed(self):
+        symphony = Symphony(contracts=True, telemetry=True)
+        account = symphony.register_designer("Dana")
+        return symphony, account
+
+    def test_reject_policy_raises(self, governed):
+        symphony, account = governed
+        symphony.register_contract(
+            account, products_contract(policy="reject"))
+        bad = clean_rows() + [{"sku": "", "title": "x", "price": "$1",
+                               "platform": "PC"}]
+        with pytest.raises(ContractViolationError):
+            symphony.upload_structured_data(account, bad,
+                                            table_name="products")
+
+    def test_quarantine_and_replay_idempotence(self, governed):
+        symphony, account = governed
+        symphony.register_contract(account, products_contract())
+        rows = clean_rows() + [
+            {"sku": "sku-bad", "title": "B", "price": "call us",
+             "platform": "PC"},
+        ]
+        report = symphony.upload_structured_data(
+            account, rows, table_name="products")
+        tenant_id = account.tenant.tenant_id
+        assert report.inserted == 4 and report.quarantined == 1
+        assert len(symphony.contracts.quarantined_rows(
+            tenant_id, "products")) == 1
+
+        # Replay without fixing anything: the row re-quarantines
+        # exactly once instead of duplicating or vanishing.
+        replay = symphony.replay_quarantine(account, "products")
+        assert replay.inserted == 0 and replay.quarantined == 1
+        assert len(symphony.contracts.quarantined_rows(
+            tenant_id, "products")) == 1
+
+        # Relax the contract (price becomes STRING is a retype — not
+        # allowed — so drop the constraint instead via a nullable
+        # free-text note field and a fixed feed): here we simply fix
+        # the row by replaying after the producer re-sends it clean.
+        symphony.upload_structured_data(
+            account,
+            [{"sku": "sku-bad", "title": "B", "price": "$9.99",
+              "platform": "PC"}],
+            table_name="products")
+        table = account.tenant.table("products")
+        assert len(table) == 5
+
+    def test_upsert_under_schema_drift(self, governed):
+        """A refresh that adds a column (after a widened v2 contract)
+        must upsert by canonical key, not duplicate rows."""
+        symphony, account = governed
+        symphony.register_contract(account, products_contract())
+        symphony.upload_structured_data(
+            account, clean_rows(), table_name="products")
+        table = account.tenant.table("products")
+        assert len(table) == 4
+
+        v2 = products_contract(version=2, fields=(
+            *products_contract().fields,
+            FieldContract("rating", FieldType.FLOAT),
+        ))
+        symphony.register_contract(account, v2)
+        drifted = [
+            {"sku": " SKU-0 ", "title": "Game 0 (GOTY)",
+             "price": "$49.99", "platform": "PC", "rating": "4.5"},
+            {"sku": "sku-9", "title": "New Game", "price": "$59.99",
+             "platform": "PS3", "rating": "3.0"},
+        ]
+        report = symphony.upload_structured_data(
+            account, drifted, table_name="products")
+        assert report.updated == 1 and report.inserted == 1
+        assert len(table) == 5
+        updated = table.find("sku", "SKU-0")[0]
+        assert updated.values["rating"] == 4.5
+        assert updated.values["title"] == "Game 0 (GOTY)"
+        # Pre-evolution rows read None for the new column.
+        old = table.find("sku", "SKU-1")[0]
+        assert old.values.get("rating") is None
+
+    def test_retype_guard_fails_upfront(self, governed):
+        symphony, account = governed
+        symphony.register_contract(account, products_contract())
+        symphony.upload_structured_data(
+            account, clean_rows(), table_name="products")
+        retyped = products_contract(version=2, fields=(
+            FieldContract("sku", FieldType.STRING, required=True),
+            FieldContract("title", FieldType.STRING, required=True),
+            FieldContract("price", FieldType.STRING),
+            FieldContract("platform", FieldType.STRING),
+        ))
+        with pytest.raises(ConfigurationError):
+            symphony.register_contract(account, retyped)
+
+    def test_contract_events_and_metrics(self, governed):
+        symphony, account = governed
+        symphony.register_contract(account, products_contract())
+        rows = clean_rows() + [dict(clean_rows()[0], sku="",
+                                    rating="extra")]
+        symphony.upload_structured_data(account, rows,
+                                        table_name="products")
+        events = symphony.telemetry.events
+        assert events.by_kind("contract.drift")
+        assert events.by_kind("contract.violation")
+
+    def test_status_and_report(self, governed):
+        symphony, account = governed
+        symphony.register_contract(account, products_contract())
+        symphony.upload_structured_data(
+            account, clean_rows(), table_name="products")
+        status = symphony.contract_status(account.tenant.tenant_id)
+        assert status["tables"][0]["loaded"] == 4
+        assert "products" in symphony.contract_report()
+
+
+class TestFreshnessIntegration:
+    def test_drifted_feed_scenario_end_to_end(self):
+        symphony = Symphony(contracts=True, slo=True)
+        report = run_drifted_feed(symphony)
+        failed = [c for c in report.checks if not c.ok]
+        assert report.ok, failed
+        assert report.quarantined == 3
+        assert report.replayed == 1 and report.requarantined == 2
+
+    def test_stale_feed_flagged_and_recovered(self):
+        clock = SimClock()
+        from repro.contracts.manager import ContractManager
+        manager = ContractManager(clock, telemetry=Telemetry(clock))
+        manager.register("t1", products_contract(
+            freshness=FreshnessSLA(5_000)))
+        manager.mark_refreshed("t1", "products")
+        clock.advance(4_000)
+        assert manager.check_freshness() == []
+        clock.advance(2_000)
+        stale = manager.check_freshness()
+        assert [(f.tenant_id, f.table) for f in stale] == \
+            [("t1", "products")]
+        assert manager.source_status("t1", "products")["stale"]
+        # Recovery is edge-triggered on the next check() pass.
+        manager.mark_refreshed("t1", "products")
+        assert manager.check_freshness() == []
+        assert not manager.is_stale("t1", "products")
+
+
+class TestNullPath:
+    def test_default_platform_is_ungoverned(self):
+        symphony = Symphony()
+        assert symphony.contracts is NULL_CONTRACTS
+        assert not symphony.contracts.enabled
+
+    def test_register_without_contracts_fails(self):
+        symphony = Symphony()
+        account = symphony.register_designer("Ann")
+        with pytest.raises(ConfigurationError):
+            symphony.register_contract(account, products_contract())
+
+    def test_null_manager_is_inert(self):
+        assert NULL_CONTRACTS.apply("t", "x", [{"a": 1}]) is None
+        assert NULL_CONTRACTS.quarantined_rows("t", "x") == []
+        assert NULL_CONTRACTS.check_freshness() == []
+        assert "disabled" in NULL_CONTRACTS.report()
+
+    def test_uncontracted_table_on_governed_platform(self):
+        symphony = Symphony(contracts=True)
+        account = symphony.register_designer("Ann")
+        report = symphony.upload_structured_data(
+            account, [{"a": "1"}, {"a": "2"}], table_name="plain")
+        assert report.inserted == 2
+        assert report.violations == 0

@@ -162,6 +162,60 @@ class TestRefreshScheduler:
         assert outcomes["bad"].error == "feed gone"
         assert outcomes["good"].inserted == 1
 
+    def test_any_exception_isolated_not_just_repro_errors(self):
+        # A feed action raising KeyError (a bug, not an IngestError)
+        # must not abort the scheduler pass.
+        clock = SimClock(start_ms=0)
+        scheduler = RefreshScheduler(clock)
+
+        def buggy():
+            raise KeyError("missing column")
+
+        scheduler.register("buggy", 100, buggy)
+        scheduler.register("good", 100, self.FakeReport)
+        outcomes = {o.feed_id: o for o in scheduler.run_due()}
+        assert "missing column" in outcomes["buggy"].error
+        assert outcomes["good"].inserted == 1
+
+    def test_failure_streak_resets_on_success(self):
+        clock = SimClock(start_ms=0)
+        scheduler = RefreshScheduler(clock)
+        flaky = {"fail": True}
+
+        def action():
+            if flaky["fail"]:
+                raise IngestError("down")
+            return self.FakeReport()
+
+        scheduler.register("feed", 100, action)
+        scheduler.run_due()
+        clock.advance(100)
+        scheduler.run_due()
+        assert scheduler._feeds["feed"].failures == 2
+        flaky["fail"] = False
+        clock.advance(100)
+        scheduler.run_due()
+        assert scheduler._feeds["feed"].failures == 0
+
+    def test_refresh_events_emitted(self):
+        from repro.telemetry import Telemetry
+
+        clock = SimClock(start_ms=0)
+        telemetry = Telemetry(clock)
+        scheduler = RefreshScheduler(clock, telemetry=telemetry)
+
+        def boom():
+            raise IngestError("gone")
+
+        scheduler.register("ok", 100, self.FakeReport)
+        scheduler.register("bad", 100, boom)
+        scheduler.run_due()
+        complete = telemetry.events.by_kind("refresh.complete")
+        failed = telemetry.events.by_kind("refresh.failed")
+        assert [e.fields["feed"] for e in complete] == ["ok"]
+        assert [e.fields["feed"] for e in failed] == ["bad"]
+        assert failed[0].fields["failures"] == 1
+
     def test_duplicate_and_missing_registration(self):
         scheduler = RefreshScheduler(SimClock())
         scheduler.register("f", 100, self.FakeReport)

@@ -382,6 +382,16 @@ class TestPipeline:
         with pytest.raises(IngestError):
             detect_format("x.bin", "application/octet-stream")
 
+    def test_detect_format_strips_media_type_parameters(self):
+        # A parameterized content type must match on its bare media
+        # type — "text/csv; charset=utf-8" is still CSV.
+        assert detect_format("x.bin",
+                             "text/csv; charset=utf-8") == "delimited"
+        assert detect_format("x.bin",
+                             "Application/JSON ; indent=2") == "json"
+        with pytest.raises(IngestError):
+            detect_format("x.bin", "; charset=utf-8")
+
     def test_first_load_infers_schema(self):
         tenant = self.make_tenant()
         ingestor = DatasetIngestor(tenant)
